@@ -1,0 +1,21 @@
+//! Baseline overlay multicast protocols the paper compares VDM against.
+//!
+//! * [`hmtp`] — Host Multicast Tree Protocol (§2.4.7, §3.5): greedy
+//!   closest-child descent with the U-turn (triangle) check and
+//!   periodic root-path refinement. The paper's main comparison point.
+//! * [`btp`] — Banana Tree Protocol (§2.4.6): join at the root, improve
+//!   via switch-to-closer-node refinement passes.
+//! * [`star`] — the unicast star (every receiver connects straight to
+//!   the source): the stretch-optimal, stress-worst reference.
+//! * [`mst_oracle`] — centralized Prim trees over the live member set
+//!   (§5.4.6's comparison target).
+
+pub mod btp;
+pub mod hmtp;
+pub mod mst_oracle;
+pub mod star;
+
+pub use btp::{BtpFactory, BtpPolicy};
+pub use hmtp::{HmtpFactory, HmtpPolicy};
+pub use mst_oracle::mst_snapshot;
+pub use star::{StarFactory, StarPolicy};

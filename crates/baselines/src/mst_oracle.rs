@@ -1,0 +1,94 @@
+//! Centralized MST oracle (§5.4.6).
+//!
+//! The paper compares its distributed trees against the minimum
+//! spanning tree over the same peer set and metric, computed with full
+//! knowledge ("In this part, we don't apply degree limitation"). This
+//! module turns a Prim run into a [`TreeSnapshot`] so every tree metric
+//! applies to the MST as well.
+
+use vdm_netsim::HostId;
+use vdm_overlay::tree::TreeSnapshot;
+use vdm_topology::mst;
+
+/// Build the MST over `source` plus `members` under `dist`, as a tree
+/// snapshot rooted at the source.
+///
+/// `num_hosts` sizes the parent table (host ids must be below it).
+pub fn mst_snapshot(
+    num_hosts: usize,
+    source: HostId,
+    members: &[HostId],
+    mut dist: impl FnMut(HostId, HostId) -> f64,
+) -> TreeSnapshot {
+    let mut points = Vec::with_capacity(members.len() + 1);
+    points.push(source);
+    points.extend_from_slice(members);
+    let tree = mst::prim(points.len(), 0, |a, b| dist(points[a], points[b]));
+    let mut parent = vec![None; num_hosts];
+    for (i, p) in tree.parent.iter().enumerate() {
+        if let Some(p) = p {
+            parent[points[i].idx()] = Some(points[*p]);
+        }
+    }
+    TreeSnapshot {
+        source,
+        members: members.to_vec(),
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_overlay::metrics::mst_ratio;
+
+    fn line_dist(a: HostId, b: HostId) -> f64 {
+        (a.0 as f64 - b.0 as f64).abs()
+    }
+
+    #[test]
+    fn line_mst_is_a_chain() {
+        let members: Vec<HostId> = (1..5).map(HostId).collect();
+        let snap = mst_snapshot(5, HostId(0), &members, line_dist);
+        for h in 1..5u32 {
+            assert_eq!(snap.parent_of(HostId(h)), Some(HostId(h - 1)));
+        }
+        assert!(snap.validate(&[]).is_empty());
+        // The MST's own MST ratio is exactly 1.
+        let r = mst_ratio(&snap, line_dist).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mst_cost_lower_bounds_any_protocol_tree() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 15;
+        let mut m = vec![vec![0.0; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = rng.gen_range(1.0..50.0);
+                m[i][j] = w;
+                m[j][i] = w;
+            }
+        }
+        let dist = |a: HostId, b: HostId| m[a.idx()][b.idx()];
+        let members: Vec<HostId> = (1..n as u32).map(HostId).collect();
+        let snap = mst_snapshot(n, HostId(0), &members, dist);
+        // Compare with a star on the same metric.
+        let star = TreeSnapshot {
+            source: HostId(0),
+            members: members.clone(),
+            parent: (0..n)
+                .map(|i| if i == 0 { None } else { Some(HostId(0)) })
+                .collect(),
+        };
+        let cost = |s: &TreeSnapshot| -> f64 {
+            s.edges().iter().map(|&(p, c)| dist(p, c)).sum()
+        };
+        assert!(cost(&snap) <= cost(&star) + 1e-9);
+        let r = mst_ratio(&star, dist).unwrap();
+        assert!(r >= 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! One Criterion bench per paper table/figure family: each runs the
+//! corresponding `vdm-experiments` runner at quick effort, so `cargo
+//! bench` both times the reproduction pipeline and regenerates every
+//! figure's data (the printed tables come from `vdm-repro`; these
+//! benches guard the runners' cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdm_experiments::figures::{ablation, complexity, fig3, fig4, fig5};
+use vdm_experiments::Effort;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    let e = Effort::Quick;
+    group.bench_function("fig3_25_28_churn", |b| {
+        b.iter(|| black_box(fig3::churn_family(e, 1)))
+    });
+    group.bench_function("fig3_29_32_nodes", |b| {
+        b.iter(|| black_box(fig3::nodes_family(e, 1)))
+    });
+    group.bench_function("fig3_33_36_degree", |b| {
+        b.iter(|| black_box(fig3::degree_family(e, 1)))
+    });
+    group.bench_function("fig4_6_9_metric", |b| {
+        b.iter(|| black_box(fig4::metric_family(e, 1)))
+    });
+    group.bench_function("fig5_5_6_tree", |b| {
+        b.iter(|| black_box(fig5::sample_trees(1)))
+    });
+    group.bench_function("fig5_7_13_churn", |b| {
+        b.iter(|| black_box(fig5::churn_family(e, 1)))
+    });
+    group.bench_function("fig5_14_20_nodes", |b| {
+        b.iter(|| black_box(fig5::nodes_family(e, 1)))
+    });
+    group.bench_function("fig5_21_27_degree", |b| {
+        b.iter(|| black_box(fig5::degree_family(e, 1)))
+    });
+    group.bench_function("fig5_28_30_refine", |b| {
+        b.iter(|| black_box(fig5::refine_family(e, 1)))
+    });
+    group.bench_function("fig5_31_mst", |b| {
+        b.iter(|| black_box(fig5::mst_family(e, 1)))
+    });
+    group.bench_function("eq3_3_complexity", |b| {
+        b.iter(|| black_box(complexity::join_complexity(e, 1)))
+    });
+    group.bench_function("ablation_slack", |b| {
+        b.iter(|| black_box(ablation::slack_sweep(e, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks of the protocol hot paths: the directionality
+//! classifier (§3.1.2), the virtual metrics (Chapter 4), and the join
+//! walk's per-node decision (Eq. 3.3's inner loop).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use vdm_core::{classify, VdmPolicy, VirtualMetric};
+use vdm_netsim::HostId;
+use vdm_overlay::walk::{ChildProbe, ProbeResult, WalkPolicy, WalkPurpose};
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let triples: Vec<(f64, f64, f64)> = (0..1024)
+        .map(|_| {
+            (
+                rng.gen_range(0.1..100.0),
+                rng.gen_range(0.1..100.0),
+                rng.gen_range(0.1..100.0),
+            )
+        })
+        .collect();
+    c.bench_function("classify_1024_triples", |b| {
+        b.iter(|| {
+            for &(a, p, n) in &triples {
+                black_box(classify(black_box(a), black_box(p), black_box(n)));
+            }
+        })
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vdist");
+    for (name, m) in [
+        ("delay", VirtualMetric::Delay),
+        ("loss", VirtualMetric::loss()),
+        ("blend", VirtualMetric::balanced_blend()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(m.vdist(black_box(42.5), black_box(0.013))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let policy = VdmPolicy::delay_based();
+    let mut group = c.benchmark_group("vdm_decide");
+    for fanout in [2usize, 8, 32] {
+        let probe = ProbeResult {
+            current: HostId(0),
+            d_current: 50.0,
+            children: (0..fanout)
+                .map(|i| ChildProbe {
+                    child: HostId(i as u32 + 1),
+                    d_parent_child: rng.gen_range(1.0..100.0),
+                    d_new_child: rng.gen_range(1.0..100.0),
+                })
+                .collect(),
+            iteration: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(fanout), &probe, |b, probe| {
+            b.iter(|| black_box(policy.decide(black_box(probe), WalkPurpose::Join)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier, bench_metrics, bench_decide);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Substrate benchmarks: topology generation, all-pairs shortest
+//! paths, MSTs, the event engine, and the synchronous join walk
+//! (Eqs. 3.1–3.3: contacted peers — and hence join latency — should
+//! grow logarithmically in the tree size).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
+use vdm_core::VdmPolicy;
+use vdm_netsim::{Engine, HostId, LatencySpace, SendClass, SimTime, World};
+use vdm_overlay::sync::SyncOverlay;
+use vdm_topology::transit_stub::{generate, TransitStubConfig};
+use vdm_topology::{mst, Apsp};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transit_stub");
+    group.sample_size(10);
+    group.bench_function("generate_792", |b| {
+        b.iter(|| black_box(generate(&TransitStubConfig::paper_792(), 7)))
+    });
+    let g = generate(&TransitStubConfig::paper_792(), 7);
+    group.bench_function("apsp_792", |b| b.iter(|| black_box(Apsp::build(&g))));
+    group.finish();
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_mst");
+    for n in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                black_box(mst::prim(pts.len(), 0, |a, b| {
+                    let (xa, ya) = pts[a];
+                    let (xb, yb) = pts[b];
+                    ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt()
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+struct Bouncer {
+    left: u64,
+}
+impl World for Bouncer {
+    type Msg = u64;
+    fn on_deliver(&mut self, eng: &mut Engine<u64>, to: HostId, from: HostId, msg: u64) {
+        if self.left > 0 {
+            self.left -= 1;
+            eng.send(to, from, msg + 1, SendClass::Control);
+        }
+    }
+    fn on_timer(&mut self, _: &mut Engine<u64>, _: HostId, _: u64) {}
+    fn on_external(&mut self, _: &mut Engine<u64>, _: u64) {}
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let rtt = vec![vec![0.0, 10.0], vec![10.0, 0.0]];
+    let space: Arc<LatencySpace> = Arc::new(LatencySpace::from_rtt_matrix(&rtt));
+    c.bench_function("engine_100k_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(space.clone(), 1);
+            let mut w = Bouncer { left: 100_000 };
+            eng.send(HostId(0), HostId(1), 0, SendClass::Control);
+            eng.run(&mut w, SimTime::MAX);
+            black_box(eng.events_processed())
+        })
+    });
+}
+
+/// Eq. 3.3: join cost vs tree size. Criterion reports per-join wall
+/// time; the logarithmic trend shows up as sub-linear growth across the
+/// parameter points.
+fn bench_join_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_complexity");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let pts: Vec<(f64, f64)> = (0..n + 1)
+            .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            let dist = |a: HostId, b: HostId| {
+                let (xa, ya) = pts[a.idx()];
+                let (xb, yb) = pts[b.idx()];
+                (((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt()).max(1e-9)
+            };
+            let policy = VdmPolicy::delay_based();
+            b.iter(|| {
+                let mut ov = SyncOverlay::new(pts.len(), HostId(0), 4, dist);
+                for h in 1..pts.len() as u32 {
+                    ov.join(HostId(h), 4, &policy);
+                }
+                black_box(ov.snapshot().members.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology,
+    bench_mst,
+    bench_engine,
+    bench_join_complexity
+);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Virtual directionality on a line (§3.1.2).
+//!
+//! Take a triple: the current node `P` (source or descendant), one of
+//! its existing children `E`, and the newcomer `N`, with pairwise
+//! virtual distances `d(P,N)`, `d(P,E)`, `d(N,E)`. Projected onto a
+//! line, whichever distance is *largest* tells us who sits in the
+//! middle:
+//!
+//! * `d(N,E)` largest → `P` between `N` and `E` → **Case I**: `N`
+//!   should connect to `P` (Fig. 3.2);
+//! * `d(P,E)` largest → `N` between `P` and `E` → **Case II**: `N`
+//!   splices in, becoming `P`'s child and `E`'s parent (Fig. 3.3);
+//! * `d(P,N)` largest → `E` between `P` and `N` → **Case III**: the
+//!   walk continues from `E` (Figs. 3.4, 3.5).
+
+use vdm_overlay::VDist;
+
+/// The three directionality cases of §3.1.2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Case {
+    /// `P` between `N` and `E`: attach at `P`.
+    I,
+    /// `N` between `P` and `E`: splice `N` in.
+    II,
+    /// `E` between `P` and `N`: continue at `E`.
+    III,
+}
+
+/// Classify a (current node, existing child, newcomer) triple.
+///
+/// * `d_pn` — distance current node ↔ newcomer;
+/// * `d_pe` — distance current node ↔ existing child (stored);
+/// * `d_ne` — distance newcomer ↔ existing child (probed).
+///
+/// Exact ties (measure-zero with real measurements) resolve
+/// conservatively: Case I over Case II over Case III, so a degenerate
+/// geometry attaches rather than descending forever.
+#[inline]
+pub fn classify(d_pn: VDist, d_pe: VDist, d_ne: VDist) -> Case {
+    classify_with_slack(d_pn, d_pe, d_ne, 0.0)
+}
+
+/// [`classify`] with a *directionality slack*: the winning distance
+/// must exceed the runner-up by the relative margin `slack` (e.g. 0.05
+/// = 5 %), otherwise the triple is treated as non-directional
+/// (Case I). `slack = 0` is the paper's behaviour; positive slack is an
+/// ablation knob for noisy RTTs.
+#[inline]
+pub fn classify_with_slack(d_pn: VDist, d_pe: VDist, d_ne: VDist, slack: f64) -> Case {
+    debug_assert!(
+        d_pn >= 0.0 && d_pe >= 0.0 && d_ne >= 0.0,
+        "virtual distances must be non-negative"
+    );
+    let margin = 1.0 + slack;
+    if d_ne >= d_pn && d_ne >= d_pe {
+        Case::I
+    } else if d_pe >= d_pn && d_pe >= d_ne {
+        if d_pe >= margin * d_pn.max(d_ne) {
+            Case::II
+        } else {
+            Case::I
+        }
+    } else if d_pn >= margin * d_pe.max(d_ne) {
+        Case::III
+    } else {
+        Case::I
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn line_geometry_cases() {
+        // P at 0, E at 5.
+        // N at -3: P in the middle.
+        assert_eq!(classify(3.0, 5.0, 8.0), Case::I);
+        // N at 2: N in the middle.
+        assert_eq!(classify(2.0, 5.0, 3.0), Case::II);
+        // N at 9: E in the middle.
+        assert_eq!(classify(9.0, 5.0, 4.0), Case::III);
+    }
+
+    #[test]
+    fn paper_fig_3_2_to_3_4() {
+        // Fig 3.2 (Case I): router-level delays give N-S=4, S-E=5, N-E=9.
+        assert_eq!(classify(4.0, 5.0, 9.0), Case::I);
+        // Fig 3.3 (Case II): S-N=6, S-E=10, N-E=4.
+        assert_eq!(classify(6.0, 10.0, 4.0), Case::II);
+        // Fig 3.4 (Case III): S-N=9, S-E=5, N-E=4.
+        assert_eq!(classify(9.0, 5.0, 4.0), Case::III);
+    }
+
+    #[test]
+    fn ties_prefer_attaching() {
+        // Equilateral: everything ties -> Case I.
+        assert_eq!(classify(5.0, 5.0, 5.0), Case::I);
+        // d_ne ties with d_pe for the max -> Case I.
+        assert_eq!(classify(3.0, 5.0, 5.0), Case::I);
+        // d_pe ties with d_pn for the max (above d_ne) -> Case II.
+        assert_eq!(classify(5.0, 5.0, 3.0), Case::II);
+        // Degenerate zeros.
+        assert_eq!(classify(0.0, 0.0, 0.0), Case::I);
+    }
+
+    #[test]
+    fn slack_suppresses_marginal_directions() {
+        // d_pn barely dominates: Case III without slack, Case I with.
+        assert_eq!(classify_with_slack(5.1, 5.0, 4.0, 0.0), Case::III);
+        assert_eq!(classify_with_slack(5.1, 5.0, 4.0, 0.05), Case::I);
+        // Clear dominance survives slack.
+        assert_eq!(classify_with_slack(9.0, 5.0, 4.0, 0.05), Case::III);
+        assert_eq!(classify_with_slack(2.0, 9.0, 3.0, 0.05), Case::II);
+    }
+
+    proptest! {
+        /// The classifier is total and the case always matches the
+        /// true maximum (modulo the tie preference).
+        #[test]
+        fn classifier_matches_maximum(
+            d_pn in 0.0..1e6f64,
+            d_pe in 0.0..1e6f64,
+            d_ne in 0.0..1e6f64,
+        ) {
+            let case = classify(d_pn, d_pe, d_ne);
+            match case {
+                Case::I => prop_assert!(d_ne >= d_pn && d_ne >= d_pe),
+                Case::II => prop_assert!(d_pe >= d_pn && d_pe >= d_ne),
+                Case::III => prop_assert!(d_pn >= d_pe && d_pn >= d_ne),
+            }
+        }
+
+        /// On an actual line, the classifier recovers the true middle
+        /// point.
+        #[test]
+        fn line_positions_recover_order(p in -1e3..1e3f64, e in -1e3..1e3f64, n in -1e3..1e3f64) {
+            prop_assume!((p - e).abs() > 1e-9 && (p - n).abs() > 1e-9 && (e - n).abs() > 1e-9);
+            let case = classify((p - n).abs(), (p - e).abs(), (n - e).abs());
+            let expected = if (p - e).signum() != (p - n).signum() {
+                Case::I // p in the middle
+            } else if (n - p).signum() != (n - e).signum() {
+                Case::II // n in the middle
+            } else {
+                Case::III // e in the middle
+            };
+            prop_assert_eq!(case, expected);
+        }
+
+        /// Slack only ever converts decisions toward Case I.
+        #[test]
+        fn slack_is_conservative(
+            d_pn in 0.0..1e3f64,
+            d_pe in 0.0..1e3f64,
+            d_ne in 0.0..1e3f64,
+            slack in 0.0..0.5f64,
+        ) {
+            let strict = classify(d_pn, d_pe, d_ne);
+            let slacked = classify_with_slack(d_pn, d_pe, d_ne, slack);
+            if slacked != strict {
+                prop_assert_eq!(slacked, Case::I);
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Virtual Direction Multicast (VDM).
+//!
+//! The paper's contribution: an overlay multicast protocol that builds
+//! its tree by estimating which peers lie "in the same virtual
+//! direction" on a 1-D abstraction of the network (Chapter 3), with a
+//! pluggable *virtual distance* so the same protocol optimizes delay,
+//! loss, or blends of both (Chapter 4).
+//!
+//! * [`direction`] — the three-case classifier over peer triples
+//!   (§3.1.2, Figs. 3.1–3.5);
+//! * [`metric`] — the generalized virtual distances: VDM-D (delay),
+//!   VDM-L (loss), and composites (§4.1);
+//! * [`policy`] — the join policy (§3.2's pseudo-code) plugged into the
+//!   shared walk machinery of `vdm-overlay`, plus the
+//!   [`VdmFactory`] that builds full agents with
+//!   reconnection (§3.3) and optional refinement (§3.4).
+//!
+//! # Quick start
+//!
+//! ```
+//! use vdm_core::prelude::*;
+//! use vdm_netsim::HostId;
+//! use vdm_overlay::sync::SyncOverlay;
+//!
+//! // Five hosts on a virtual line at positions 0, 1, 2, 3, 4.
+//! let dist = |a: HostId, b: HostId| (a.0 as f64 - b.0 as f64).abs();
+//! let policy = VdmPolicy::delay_based();
+//! let mut overlay = SyncOverlay::new(5, HostId(0), 4, dist);
+//! for h in 1..5 {
+//!     overlay.join(HostId(h), 4, &policy);
+//! }
+//! // VDM chains hosts that lie in the same direction.
+//! let snapshot = overlay.snapshot();
+//! assert_eq!(snapshot.depths()[4], Some(4));
+//! ```
+
+pub mod direction;
+pub mod metric;
+pub mod policy;
+
+pub use direction::{classify, classify_with_slack, Case};
+pub use metric::VirtualMetric;
+pub use policy::{VdmFactory, VdmPolicy};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::direction::{classify, Case};
+    pub use crate::metric::VirtualMetric;
+    pub use crate::policy::{VdmFactory, VdmPolicy};
+}

@@ -1,0 +1,155 @@
+//! Generalized virtual distances (Chapter 4).
+//!
+//! "A key property of VDM is the capability of virtualizing the
+//! underlying network in different ways. [...] Different values of
+//! these metrics may produce different virtual distances and thus
+//! different overlay tree" (§4.1). The protocol never changes — only
+//! how a measured (RTT, loss) pair becomes a scalar distance:
+//!
+//! * **VDM-D** ([`VirtualMetric::Delay`]): the RTT in milliseconds.
+//! * **VDM-L** ([`VirtualMetric::Loss`]): `-ln(1 - p)` of the estimated
+//!   path loss probability `p`. This transform is *additive over
+//!   concatenated independent paths* (success probabilities multiply),
+//!   which is exactly the property the 1-D line abstraction needs — it
+//!   plays the role path delay plays for VDM-D. A tiny RTT tie-breaker
+//!   keeps triples non-degenerate where loss is identical (e.g. two
+//!   loss-free paths).
+//! * **Blend** ([`VirtualMetric::Blend`]): a weighted sum of both,
+//!   normalized so the weights are unit-comparable.
+
+use vdm_overlay::VDist;
+
+/// How measurements become virtual distances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VirtualMetric {
+    /// VDM-D: virtual distance = RTT (ms).
+    Delay,
+    /// VDM-L: virtual distance = `-ln(1 - loss)`, with a small RTT
+    /// tie-breaker (`rtt_tiebreak` per ms of RTT, default `1e-6`).
+    Loss {
+        /// Weight of the RTT tie-breaker term.
+        rtt_tiebreak: f64,
+    },
+    /// Weighted blend: `w_delay * rtt/rtt_scale + w_loss *
+    /// (-ln(1-p))/loss_scale`.
+    Blend {
+        /// Weight of the delay term.
+        w_delay: f64,
+        /// Weight of the loss term.
+        w_loss: f64,
+        /// RTT normalizer, ms (e.g. 100.0 = "one unit per 100 ms").
+        rtt_scale: f64,
+        /// Loss-distance normalizer (e.g. 0.01 ≈ "one unit per 1 %
+        /// loss").
+        loss_scale: f64,
+    },
+}
+
+impl VirtualMetric {
+    /// VDM-L with the default tie-breaker.
+    pub fn loss() -> Self {
+        VirtualMetric::Loss { rtt_tiebreak: 1e-6 }
+    }
+
+    /// An even delay/loss blend on typical Internet scales.
+    pub fn balanced_blend() -> Self {
+        VirtualMetric::Blend {
+            w_delay: 0.5,
+            w_loss: 0.5,
+            rtt_scale: 100.0,
+            loss_scale: 0.01,
+        }
+    }
+
+    /// Loss probability → additive loss distance.
+    #[inline]
+    pub fn loss_distance(p: f64) -> VDist {
+        -(1.0 - p.clamp(0.0, 0.999_999)).ln()
+    }
+
+    /// Convert a measurement into a virtual distance.
+    #[inline]
+    pub fn vdist(&self, rtt_ms: f64, loss_est: f64) -> VDist {
+        match *self {
+            VirtualMetric::Delay => rtt_ms,
+            VirtualMetric::Loss { rtt_tiebreak } => {
+                Self::loss_distance(loss_est) + rtt_tiebreak * rtt_ms
+            }
+            VirtualMetric::Blend {
+                w_delay,
+                w_loss,
+                rtt_scale,
+                loss_scale,
+            } => w_delay * rtt_ms / rtt_scale + w_loss * Self::loss_distance(loss_est) / loss_scale,
+        }
+    }
+
+    /// Whether the walk must estimate path loss for this metric.
+    pub fn needs_loss(&self) -> bool {
+        !matches!(self, VirtualMetric::Delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn delay_is_identity_on_rtt() {
+        let m = VirtualMetric::Delay;
+        assert_eq!(m.vdist(42.0, 0.9), 42.0);
+        assert!(!m.needs_loss());
+    }
+
+    #[test]
+    fn loss_distance_is_additive_over_concatenation() {
+        // Two independent hops with losses p1, p2: end-to-end success
+        // is (1-p1)(1-p2), so distances must add.
+        let (p1, p2) = (0.03, 0.08);
+        let combined = 1.0 - (1.0 - p1) * (1.0 - p2);
+        let d = VirtualMetric::loss_distance(combined);
+        let d12 = VirtualMetric::loss_distance(p1) + VirtualMetric::loss_distance(p2);
+        assert!((d - d12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_metric_orders_by_loss_first() {
+        let m = VirtualMetric::loss();
+        assert!(m.needs_loss());
+        // Lossier path is farther even if its RTT is much smaller.
+        let near_lossy = m.vdist(5.0, 0.10);
+        let far_clean = m.vdist(500.0, 0.01);
+        assert!(near_lossy > far_clean);
+        // RTT breaks exact loss ties.
+        assert!(m.vdist(10.0, 0.05) < m.vdist(20.0, 0.05));
+    }
+
+    #[test]
+    fn blend_mixes_scales() {
+        let m = VirtualMetric::balanced_blend();
+        // 100 ms, 1% loss ≈ 0.5 + 0.5 ≈ 1.0.
+        let v = m.vdist(100.0, 0.01);
+        assert!((v - 1.0).abs() < 0.01, "got {v}");
+        assert!(m.needs_loss());
+    }
+
+    #[test]
+    fn extreme_loss_is_finite() {
+        assert!(VirtualMetric::loss_distance(1.0).is_finite());
+        assert!(VirtualMetric::loss_distance(0.0) == 0.0);
+    }
+
+    proptest! {
+        /// Distances are non-negative and monotone in each input.
+        #[test]
+        fn monotone_nonnegative(rtt in 0.0..5e3f64, p in 0.0..0.9f64) {
+            for m in [VirtualMetric::Delay, VirtualMetric::loss(), VirtualMetric::balanced_blend()] {
+                let v = m.vdist(rtt, p);
+                prop_assert!(v >= 0.0);
+                prop_assert!(m.vdist(rtt + 1.0, p) >= v - 1e-12);
+                prop_assert!(m.vdist(rtt, (p + 0.05).min(0.95)) >= v - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! `vdm-repro` — regenerate every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]
+//!
+//! families:
+//!   fig3-churn    Figs 3.25–3.28  stress/stretch/loss/overhead vs churn (VDM vs HMTP)
+//!   fig3-nodes    Figs 3.29–3.32  the same vs number of nodes
+//!   fig3-degree   Figs 3.33–3.36  the same vs average node degree
+//!   fig4-metric   Figs 4.6–4.9    VDM-D vs VDM-L over time
+//!   fig5-tree     Figs 5.5/5.6    sample trees (ASCII + DOT)
+//!   fig5-churn    Figs 5.7–5.13   PlanetLab metrics vs churn (VDM vs HMTP)
+//!   fig5-nodes    Figs 5.14–5.20  PlanetLab metrics vs number of nodes
+//!   fig5-degree   Figs 5.21–5.27  PlanetLab metrics vs node degree
+//!   fig5-refine   Figs 5.28–5.30  refinement component (VDM vs VDM-R)
+//!   fig5-mst      Fig 5.31        ratio to the MST
+//!   complexity    Eq 3.3          contacted peers per join vs N
+//!   ablation      extra           slack sweep, reconnection anchor
+//!   all           everything above
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+use vdm_experiments::figures::{ablation, compare, complexity, fig3, fig4, fig5};
+use vdm_experiments::{Effort, Table};
+
+struct Opts {
+    effort: Effort,
+    seed: u64,
+    csv_dir: Option<String>,
+}
+
+fn emit(tables: &[Table], opts: &Opts) {
+    let mut stdout = std::io::stdout().lock();
+    for t in tables {
+        writeln!(stdout, "{}", t.render()).expect("stdout");
+        if let Some(dir) = &opts.csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}.csv", t.slug());
+            std::fs::write(&path, t.to_csv()).expect("write csv");
+            writeln!(stdout, "  [csv] {path}").expect("stdout");
+        }
+    }
+}
+
+fn run_family(name: &str, opts: &Opts) -> bool {
+    let t0 = Instant::now();
+    let (e, s) = (opts.effort, opts.seed);
+    let tables: Vec<Table> = match name {
+        "fig3-churn" => fig3::churn_family(e, s),
+        "fig3-nodes" => fig3::nodes_family(e, s),
+        "fig3-degree" => fig3::degree_family(e, s),
+        "fig4-metric" => fig4::metric_family(e, s),
+        "fig5-churn" => fig5::churn_family(e, s),
+        "fig5-nodes" => fig5::nodes_family(e, s),
+        "fig5-degree" => fig5::degree_family(e, s),
+        "fig5-refine" => fig5::refine_family(e, s),
+        "fig5-mst" => fig5::mst_family(e, s),
+        "complexity" => complexity::join_complexity(e, s),
+        "compare" => compare::ch3_compare(e, 5.0, s),
+        "ablation" => {
+            let mut t = ablation::slack_sweep(e, s);
+            t.extend(ablation::reconnect_anchor(e, s));
+            t.extend(ablation::crash_churn(e, s));
+            t.extend(ablation::topology_sensitivity(e, s));
+            t.extend(ablation::heterogeneity(e, s));
+            t.extend(ablation::congestion(e, s));
+            t
+        }
+        "fig5-tree" => {
+            println!("{}", fig5::sample_trees(s));
+            println!("[done fig5-tree in {:.1?}]", t0.elapsed());
+            return true;
+        }
+        _ => return false,
+    };
+    emit(&tables, opts);
+    println!("[done {name} in {:.1?}]", t0.elapsed());
+    true
+}
+
+const ALL: &[&str] = &[
+    "fig3-churn",
+    "fig3-nodes",
+    "fig3-degree",
+    "fig4-metric",
+    "fig5-tree",
+    "fig5-churn",
+    "fig5-nodes",
+    "fig5-degree",
+    "fig5-refine",
+    "fig5-mst",
+    "complexity",
+    "ablation",
+    "compare",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut family: Option<String> = None;
+    let mut opts = Opts {
+        effort: Effort::Default,
+        seed: 42,
+        csv_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.effort = Effort::Quick,
+            "--paper" => opts.effort = Effort::Paper,
+            "--seed" => {
+                opts.seed = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("error: --seed needs an integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--csv" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --csv needs a directory");
+                    std::process::exit(2);
+                };
+                opts.csv_dir = Some(dir.clone());
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if family.is_none() && !other.starts_with('-') => {
+                family = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(family) = family else {
+        print_usage();
+        std::process::exit(2);
+    };
+    if family == "all" {
+        for f in ALL {
+            assert!(run_family(f, &opts));
+        }
+        return;
+    }
+    if !run_family(&family, &opts) {
+        eprintln!("unknown family: {family}");
+        print_usage();
+        std::process::exit(2);
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]\n\nfamilies: {}  all",
+        ALL.join("  ")
+    );
+}

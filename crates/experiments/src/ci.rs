@@ -1,0 +1,77 @@
+//! Replication statistics: mean and 90 % confidence interval.
+
+/// Mean ± 90 % CI over replications (normal approximation, which is
+/// what the paper's error bars effectively are at n = 32).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CiStat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 90 % confidence interval (0 with < 2 samples).
+    pub ci90: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// z-value for a two-sided 90 % interval.
+const Z90: f64 = 1.645;
+
+impl CiStat {
+    /// Compute from samples.
+    pub fn of(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self { mean, ci90: 0.0, n };
+        }
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        Self {
+            mean,
+            ci90: Z90 * (var / n as f64).sqrt(),
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for CiStat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.n > 1 {
+            write!(f, "{:.3}±{:.3}", self.mean, self.ci90)
+        } else {
+            write!(f, "{:.3}", self.mean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = CiStat::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // sd = sqrt(5/3), se = sd/2, ci = 1.645*se.
+        let se = (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((s.ci90 - 1.645 * se).abs() < 1e-9);
+        assert_eq!(s.n, 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(CiStat::of(&[]), CiStat::default());
+        let one = CiStat::of(&[7.0]);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.ci90, 0.0);
+        let same = CiStat::of(&[2.0; 10]);
+        assert_eq!(same.ci90, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", CiStat::of(&[1.0])), "1.000");
+        assert!(format!("{}", CiStat::of(&[1.0, 2.0])).contains('±'));
+    }
+}

@@ -1,0 +1,150 @@
+//! Pulling figure metrics out of run outputs.
+
+use vdm_overlay::driver::RunOutput;
+use vdm_overlay::stats::SlotMeasurement;
+
+/// Steady-state metrics of one run (tail-averaged over the last
+/// measurements, since the paper reports converged values).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunMetrics {
+    /// Mean per-link stress (Eq. 3.4).
+    pub stress: f64,
+    /// Mean stretch (Eq. 3.5).
+    pub stretch: f64,
+    /// Max stretch.
+    pub stretch_max: f64,
+    /// Min stretch.
+    pub stretch_min: f64,
+    /// Leaf-only mean stretch.
+    pub stretch_leaf: f64,
+    /// Mean hop count.
+    pub hopcount: f64,
+    /// Leaf-only mean hop count.
+    pub hopcount_leaf: f64,
+    /// Max hop count.
+    pub hopcount_max: f64,
+    /// Normalized resource usage (star = 1).
+    pub usage: f64,
+    /// Loss rate over the measured slots (Eq. 3.7).
+    pub loss: f64,
+    /// Overhead: control / data messages (Eq. 3.6).
+    pub overhead: f64,
+    /// Overhead per source chunk (§5.4.2 variant).
+    pub overhead_per_chunk: f64,
+    /// Mean startup time, seconds.
+    pub startup: f64,
+    /// Max startup time, seconds.
+    pub startup_max: f64,
+    /// Mean reconnection time, seconds.
+    pub reconnection: f64,
+    /// Max reconnection time, seconds.
+    pub reconnection_max: f64,
+    /// Tree cost / MST cost (§5.4.6), when computed.
+    pub mst_ratio: f64,
+    /// Structural errors seen across measured slots (should be 0).
+    pub tree_errors: usize,
+}
+
+fn mean_of(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn max_of(v: &[f64]) -> f64 {
+    v.iter().copied().fold(0.0, f64::max)
+}
+
+/// Extract tail-averaged metrics from a run; `tail` = number of final
+/// measurements to average (1 = the last snapshot only).
+pub fn run_metrics(out: &RunOutput, tail: usize) -> RunMetrics {
+    let ms = &out.stats.measurements;
+    let take = tail.clamp(1, ms.len().max(1));
+    let slice: &[SlotMeasurement] = if ms.is_empty() {
+        &[]
+    } else {
+        &ms[ms.len() - take..]
+    };
+    let avg = |f: &dyn Fn(&SlotMeasurement) -> f64| -> f64 {
+        if slice.is_empty() {
+            0.0
+        } else {
+            slice.iter().map(f).sum::<f64>() / slice.len() as f64
+        }
+    };
+    RunMetrics {
+        stress: avg(&|m| m.stress.map_or(0.0, |s| s.mean)),
+        stretch: avg(&|m| m.stretch.mean),
+        stretch_max: avg(&|m| m.stretch.max),
+        stretch_min: avg(&|m| m.stretch.min),
+        stretch_leaf: avg(&|m| m.stretch_leaf_mean),
+        hopcount: avg(&|m| m.hopcount.mean),
+        hopcount_leaf: avg(&|m| m.hopcount_leaf_mean),
+        hopcount_max: avg(&|m| m.hopcount.max),
+        usage: avg(&|m| m.usage_normalized),
+        loss: avg(&|m| m.loss_rate),
+        overhead: avg(&|m| m.overhead),
+        overhead_per_chunk: avg(&|m| m.overhead_per_chunk),
+        startup: mean_of(&out.stats.startup_s),
+        startup_max: max_of(&out.stats.startup_s),
+        reconnection: mean_of(&out.stats.reconnection_s),
+        reconnection_max: max_of(&out.stats.reconnection_s),
+        mst_ratio: avg(&|m| m.mst_ratio.unwrap_or(0.0)),
+        tree_errors: slice.iter().map(|m| m.tree_errors).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_overlay::stats::{RunStats, Summary};
+    use vdm_overlay::tree::TreeSnapshot;
+    use vdm_netsim::HostId;
+
+    fn fake_run() -> RunOutput {
+        let mut stats = RunStats::new(2);
+        for i in 0..4 {
+            stats.measurements.push(SlotMeasurement {
+                loss_rate: i as f64 * 0.01,
+                stretch: Summary {
+                    mean: 2.0 + i as f64,
+                    min: 1.0,
+                    max: 5.0,
+                    count: 3,
+                },
+                ..SlotMeasurement::default()
+            });
+        }
+        stats.startup_s = vec![0.2, 0.4];
+        stats.reconnection_s = vec![0.1];
+        RunOutput {
+            stats,
+            final_snapshot: TreeSnapshot {
+                source: HostId(0),
+                members: vec![],
+                parent: vec![None, None],
+            },
+            events: 0,
+            counters: Default::default(),
+        }
+    }
+
+    #[test]
+    fn tail_averaging() {
+        let out = fake_run();
+        let m1 = run_metrics(&out, 1);
+        assert!((m1.loss - 0.03).abs() < 1e-12);
+        assert!((m1.stretch - 5.0).abs() < 1e-12);
+        let m2 = run_metrics(&out, 2);
+        assert!((m2.loss - 0.025).abs() < 1e-12);
+        assert!((m2.stretch - 4.5).abs() < 1e-12);
+        assert!((m2.startup - 0.3).abs() < 1e-12);
+        assert!((m2.startup_max - 0.4).abs() < 1e-12);
+        assert!((m2.reconnection - 0.1).abs() < 1e-12);
+        // Oversized tail clamps.
+        let m9 = run_metrics(&out, 9);
+        assert!((m9.stretch - 3.5).abs() < 1e-12);
+    }
+}

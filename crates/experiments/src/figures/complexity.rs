@@ -1,0 +1,95 @@
+//! Join-complexity measurement (Eqs. 3.1–3.3).
+//!
+//! "In the worst case, if the node will join the tree at the leaf, the
+//! number of nodes it has to contact will be A = n · log N [...] So,
+//! complexity for the join algorithm will be in the order of O(log N)"
+//! (§3.2.3). We measure the *contacted peers per join* with the
+//! synchronous executor over random 2-D virtual spaces and print it
+//! next to the paper's `n · log_n N` prediction.
+
+use crate::ci::CiStat;
+use crate::figures::replicate;
+use crate::table::Table;
+use crate::Effort;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use vdm_core::VdmPolicy;
+use vdm_netsim::HostId;
+use vdm_overlay::sync::SyncOverlay;
+
+/// Mean contacted peers for the joins into trees of size `n`.
+fn measure(n: usize, degree: u32, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n + 1)
+        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+        .collect();
+    let dist = move |a: HostId, b: HostId| {
+        let (xa, ya) = pts[a.idx()];
+        let (xb, yb) = pts[b.idx()];
+        ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt().max(1e-9)
+    };
+    let policy = VdmPolicy::delay_based();
+    let mut ov = SyncOverlay::new(n + 1, HostId(0), degree, dist);
+    // Average the contact count over the *last quarter* of joins (the
+    // tree is near its final size then, which is what Eq. 3.3 models).
+    let mut tail = Vec::new();
+    for h in 1..=n as u32 {
+        let tr = ov.join(HostId(h), degree, &policy);
+        if h as usize > (3 * n) / 4 {
+            tail.push(tr.contacted as f64);
+        }
+    }
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// Contacted-peers-per-join versus tree size, against `n·log_n N`.
+pub fn join_complexity(effort: Effort, seed: u64) -> Vec<Table> {
+    let degree = 4u32;
+    let sizes: Vec<usize> = match effort {
+        Effort::Quick => vec![32, 128, 512],
+        _ => vec![32, 64, 128, 256, 512, 1024, 2048],
+    };
+    let mut table = Table::new(
+        "Eq 3.3",
+        "Contacted peers per join vs. N (degree 4)",
+        "N",
+        vec!["measured".into(), "n*log_n(N)".into()],
+    );
+    for n in sizes {
+        let samples = replicate(effort.reps(), seed ^ (n as u64), |s| {
+            measure(n, degree, s)
+        });
+        let predicted =
+            degree as f64 * ((n as f64).ln() / (degree as f64).ln());
+        table.push(
+            n as f64,
+            vec![
+                CiStat::of(&samples),
+                CiStat {
+                    mean: predicted,
+                    ci90: 0.0,
+                    n: 1,
+                },
+            ],
+        );
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_logarithmic_not_linear() {
+        let t = &join_complexity(Effort::Quick, 11)[0];
+        assert_eq!(t.rows.len(), 3);
+        let c32 = t.rows[0].1[0].mean;
+        let c512 = t.rows[2].1[0].mean;
+        // 16x more nodes; contacts must grow, but far sub-linearly.
+        assert!(c512 > c32, "contacts should grow with N");
+        assert!(
+            c512 < c32 * 6.0,
+            "contacts grew too fast: {c32} -> {c512}"
+        );
+    }
+}

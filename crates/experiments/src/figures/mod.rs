@@ -1,0 +1,45 @@
+//! One runner per paper figure family. See DESIGN.md §5 for the
+//! figure-to-runner index.
+
+pub mod ablation;
+pub mod compare;
+pub mod complexity;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+
+use rayon::prelude::*;
+
+/// Run `f` for `reps` independent seeds in parallel and collect the
+/// results in seed order (deterministic regardless of thread count).
+pub fn replicate<T: Send>(reps: usize, base_seed: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    (0..reps as u64)
+        .into_par_iter()
+        .map(|r| f(base_seed.wrapping_add(1_000 * r).wrapping_add(17)))
+        .collect()
+}
+
+/// Pick per-column samples out of replicated metrics.
+pub fn column<T, F: Fn(&T) -> f64>(samples: &[T], f: F) -> Vec<f64> {
+    samples.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_is_ordered_and_parallel_safe() {
+        let out = replicate(8, 100, |seed| seed);
+        assert_eq!(out.len(), 8);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 100 + 1000 * i as u64 + 17);
+        }
+    }
+
+    #[test]
+    fn column_extracts() {
+        let v = vec![(1.0, 2.0), (3.0, 4.0)];
+        assert_eq!(column(&v, |t| t.1), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Protocol selection for the harness.
+
+use std::sync::Arc;
+use vdm_baselines::{BtpFactory, HmtpFactory, StarFactory};
+use vdm_core::VdmFactory;
+use vdm_netsim::{HostId, RoutedUnderlay, Underlay};
+use vdm_overlay::driver::{Driver, DriverConfig, RunOutput};
+use vdm_overlay::scenario::Scenario;
+
+/// The protocols under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// VDM with delay virtual distances (the paper's default).
+    Vdm,
+    /// VDM with loss virtual distances (Chapter 4).
+    VdmL,
+    /// VDM-D plus periodic refinement (§5.4.5), period in seconds.
+    VdmR(u64),
+    /// HMTP with the given refinement period in seconds.
+    Hmtp(u64),
+    /// BTP (switch-trees) with the given switch period in seconds.
+    Btp(u64),
+    /// Unicast star.
+    Star,
+}
+
+impl Protocol {
+    /// Display name for tables.
+    pub fn name(self) -> String {
+        match self {
+            Protocol::Vdm => "VDM".into(),
+            Protocol::VdmL => "VDM-L".into(),
+            Protocol::VdmR(_) => "VDM-R".into(),
+            Protocol::Hmtp(0) => "HMTP-NR".into(),
+            Protocol::Hmtp(_) => "HMTP".into(),
+            Protocol::Btp(_) => "BTP".into(),
+            Protocol::Star => "Star".into(),
+        }
+    }
+
+    /// Run one simulation with this protocol (dispatches to the right
+    /// concrete agent factory).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        self,
+        underlay: Arc<dyn Underlay + Send + Sync>,
+        routed: Option<Arc<RoutedUnderlay>>,
+        source: HostId,
+        scenario: &Scenario,
+        limits: Vec<u32>,
+        mut cfg: DriverConfig,
+        seed: u64,
+    ) -> RunOutput {
+        match self {
+            Protocol::Vdm => Driver::new(
+                underlay,
+                routed,
+                source,
+                VdmFactory::delay_based(),
+                scenario,
+                limits,
+                cfg,
+                seed,
+            )
+            .run(),
+            Protocol::VdmL => {
+                // Loss probing needs an estimation-noise model; the
+                // paper takes loss statistics from a measurement
+                // service in simulation (§4.1).
+                if cfg.loss_probe_noise == 0.0 {
+                    cfg.loss_probe_noise = 0.002;
+                }
+                let f = VdmFactory::loss_based();
+                Driver::new(underlay, routed, source, f, scenario, limits, cfg, seed).run()
+            }
+            Protocol::VdmR(period) => Driver::new(
+                underlay,
+                routed,
+                source,
+                VdmFactory::with_refinement(period),
+                scenario,
+                limits,
+                cfg,
+                seed,
+            )
+            .run(),
+            Protocol::Hmtp(period) => Driver::new(
+                underlay,
+                routed,
+                source,
+                HmtpFactory::with_refine_period(period),
+                scenario,
+                limits,
+                cfg,
+                seed,
+            )
+            .run(),
+            Protocol::Btp(period) => Driver::new(
+                underlay,
+                routed,
+                source,
+                BtpFactory::with_refine_period(period),
+                scenario,
+                limits,
+                cfg,
+                seed,
+            )
+            .run(),
+            Protocol::Star => Driver::new(
+                underlay,
+                routed,
+                source,
+                StarFactory::default(),
+                scenario,
+                limits,
+                cfg,
+                seed,
+            )
+            .run(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{ch3_setup, degree_limits_range};
+    use vdm_overlay::scenario::ChurnConfig;
+
+    #[test]
+    fn every_protocol_builds_a_tree_on_the_ch3_testbed() {
+        let s = ch3_setup(12, 0.0, 1);
+        let scenario = Scenario::churn(
+            &ChurnConfig {
+                members: 12,
+                warmup_s: 60.0,
+                slot_s: 60.0,
+                slots: 1,
+                churn_pct: 0.0,
+            },
+            &s.candidates,
+            1,
+        );
+        let mut limits = degree_limits_range(13, 2, 5, 1);
+        limits[0] = 64; // the star needs an unconstrained source
+        for proto in [
+            Protocol::Vdm,
+            Protocol::VdmL,
+            Protocol::VdmR(120),
+            Protocol::Hmtp(60),
+            Protocol::Btp(60),
+            Protocol::Star,
+        ] {
+            let out = proto.run(
+                s.underlay.clone(),
+                Some(s.underlay.clone()),
+                s.source,
+                &scenario,
+                limits.clone(),
+                DriverConfig {
+                    compute_stress: true,
+                    ..DriverConfig::default()
+                },
+                7,
+            );
+            let last = out.stats.measurements.last().unwrap();
+            assert_eq!(last.connected, 12, "{proto:?} left members dark");
+            assert_eq!(last.tree_errors, 0, "{proto:?} broke the tree");
+            assert!(last.stress.is_some(), "{proto:?} missing stress");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Result tables: aligned text for the terminal, CSV for plotting.
+
+use crate::ci::CiStat;
+
+/// One reproduced figure: an x-axis sweep with one or more series.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Which figure this regenerates ("Fig 3.25").
+    pub figure: String,
+    /// Human title ("Stress vs. Churn").
+    pub title: String,
+    /// x-axis label ("churn (%)").
+    pub x_label: String,
+    /// Series names ("VDM", "HMTP").
+    pub series: Vec<String>,
+    /// Rows: x value plus one stat per series.
+    pub rows: Vec<(f64, Vec<CiStat>)>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(
+        figure: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Self {
+        Self {
+            figure: figure.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, x: f64, stats: Vec<CiStat>) {
+        assert_eq!(stats.len(), self.series.len());
+        self.rows.push((x, stats));
+    }
+
+    /// Aligned text rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.figure, self.title);
+        let width = 16usize;
+        out.push_str(&format!("{:>12}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!("{s:>width$}"));
+        }
+        out.push('\n');
+        for (x, stats) in &self.rows {
+            out.push_str(&format!("{x:>12.3}"));
+            for s in stats {
+                out.push_str(&format!("{:>width$}", s.to_string()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (mean and ci90 per series).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(',', ";"));
+        for s in &self.series {
+            out.push_str(&format!(",{s}_mean,{s}_ci90"));
+        }
+        out.push('\n');
+        for (x, stats) in &self.rows {
+            out.push_str(&format!("{x}"));
+            for s in stats {
+                out.push_str(&format!(",{},{}", s.mean, s.ci90));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// File-name-friendly identifier ("fig3_25").
+    pub fn slug(&self) -> String {
+        self.figure
+            .to_lowercase()
+            .replace(['.', ' ', '-'], "_")
+            .replace("__", "_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Fig 3.25",
+            "Stress vs. Churn",
+            "churn (%)",
+            vec!["VDM".into(), "HMTP".into()],
+        );
+        t.push(1.0, vec![CiStat::of(&[1.5, 1.6]), CiStat::of(&[1.7, 1.8])]);
+        t.push(5.0, vec![CiStat::of(&[1.55]), CiStat::of(&[1.75])]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("Fig 3.25"));
+        assert!(r.contains("VDM"));
+        assert!(r.contains("HMTP"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "churn (%),VDM_mean,VDM_ci90,HMTP_mean,HMTP_ci90"
+        );
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn slug() {
+        assert_eq!(sample().slug(), "fig_3_25");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = sample();
+        t.push(2.0, vec![CiStat::default()]);
+    }
+}

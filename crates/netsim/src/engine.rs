@@ -1,0 +1,479 @@
+//! The discrete-event engine.
+//!
+//! A single-threaded, deterministic event loop: the driver (in
+//! `vdm-overlay`) implements [`World`] and receives callbacks for message
+//! deliveries, host timers, and driver-scheduled external events (joins,
+//! leaves, measurements). All ties are broken by a monotonically
+//! increasing sequence number, so runs are bit-reproducible.
+//!
+//! Message semantics follow the paper's setup:
+//!
+//! * [`SendClass::Control`] messages (probes, join/connection messages,
+//!   leave notifications) are delivered reliably — the protocols exchange
+//!   them over connection-oriented transport, and the paper's loss metric
+//!   counts only data packets (Eq. 3.7).
+//! * [`SendClass::Data`] packets (stream chunks) are dropped independently
+//!   with the underlay's path-loss probability, and of course never reach
+//!   anyone when a node has no parent — churn-induced outage, the dominant
+//!   loss term in Chapter 3 ("all packet loss are caused by disconnection
+//!   of churn").
+
+use crate::dataplane::{DataPlane, DataPlaneConfig};
+use crate::time::SimTime;
+use crate::underlay::{HostId, Underlay};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Class of a message for loss handling and overhead accounting
+/// (Eq. 3.6: overhead = maintenance messages / data messages).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendClass {
+    /// Protocol maintenance traffic; reliable.
+    Control,
+    /// Stream payload; subject to path loss.
+    Data,
+}
+
+/// Callbacks the engine drives.
+pub trait World {
+    /// Message type exchanged between hosts.
+    type Msg;
+
+    /// A message arrived at `to`.
+    fn on_deliver(&mut self, eng: &mut Engine<Self::Msg>, to: HostId, from: HostId, msg: Self::Msg);
+
+    /// A host timer fired.
+    fn on_timer(&mut self, eng: &mut Engine<Self::Msg>, host: HostId, token: u64);
+
+    /// A driver-scheduled external event fired.
+    fn on_external(&mut self, eng: &mut Engine<Self::Msg>, token: u64);
+}
+
+enum EventKind<M> {
+    Deliver {
+        to: HostId,
+        from: HostId,
+        msg: M,
+    },
+    /// A data packet crossing physical links hop by hop (queueing data
+    /// plane only): `next` indexes the link it is about to enter.
+    Hop {
+        to: HostId,
+        from: HostId,
+        msg: M,
+        path: std::sync::Arc<[vdm_topology::EdgeId]>,
+        next: usize,
+    },
+    Timer { host: HostId, token: u64 },
+    External { token: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Traffic counters, reset-able by the driver between measurement slots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Control messages sent.
+    pub control_sent: u64,
+    /// Data packets sent (per overlay hop).
+    pub data_sent: u64,
+    /// Data packets dropped by path loss.
+    pub data_dropped: u64,
+    /// Data packets dropped by router buffer overflow (queueing data
+    /// plane only).
+    pub data_congestion_dropped: u64,
+    /// Messages delivered (any class).
+    pub delivered: u64,
+}
+
+/// The event engine. Generic over the message type `M`.
+pub struct Engine<M> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    underlay: Arc<dyn Underlay + Send + Sync>,
+    rng: StdRng,
+    counters: Counters,
+    events_processed: u64,
+    data_plane: Option<DataPlane>,
+}
+
+impl<M> Engine<M> {
+    /// New engine over `underlay`, with all randomness derived from
+    /// `seed`.
+    pub fn new(underlay: Arc<dyn Underlay + Send + Sync>, seed: u64) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            underlay,
+            rng: StdRng::seed_from_u64(seed ^ 0x656e_6769_6e65),
+            counters: Counters::default(),
+            events_processed: 0,
+            data_plane: None,
+        }
+    }
+
+    /// Enable the NS-2-style queueing data plane: data packets pay
+    /// serialization and queueing on every physical link of their route
+    /// and are dropped on buffer overflow. Requires a routed underlay
+    /// (one with physical links).
+    pub fn enable_data_plane(&mut self, cfg: DataPlaneConfig) {
+        let specs = self.underlay.link_specs();
+        assert!(
+            !specs.is_empty(),
+            "the queueing data plane needs a routed underlay"
+        );
+        self.data_plane = Some(DataPlane::new(specs, cfg));
+    }
+
+    /// The data plane, if enabled (diagnostics).
+    pub fn data_plane(&self) -> Option<&DataPlane> {
+        self.data_plane.as_ref()
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The underlay messages travel through.
+    pub fn underlay(&self) -> &(dyn Underlay + Send + Sync) {
+        &*self.underlay
+    }
+
+    /// Shared handle to the underlay.
+    pub fn underlay_arc(&self) -> Arc<dyn Underlay + Send + Sync> {
+        Arc::clone(&self.underlay)
+    }
+
+    /// Traffic counters since construction or the last
+    /// [`Engine::take_counters`].
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Read and reset the traffic counters.
+    pub fn take_counters(&mut self) -> Counters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Total events processed (for engine benchmarks).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Engine-owned RNG (used by drivers for scenario randomness so that
+    /// a single seed governs the whole run).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    /// Send `msg` from `from` to `to`. Control messages are reliable;
+    /// data packets may be dropped by path loss. Returns `true` if the
+    /// message was scheduled for delivery.
+    pub fn send(&mut self, from: HostId, to: HostId, msg: M, class: SendClass) -> bool {
+        assert!(from != to, "host {from} sending to itself");
+        match class {
+            SendClass::Control => self.counters.control_sent += 1,
+            SendClass::Data => self.counters.data_sent += 1,
+        }
+        if class == SendClass::Data {
+            let p = self.underlay.path_loss(from, to);
+            if p > 0.0 && self.rng.gen::<f64>() < p {
+                self.counters.data_dropped += 1;
+                return false;
+            }
+            // Queueing data plane: route hop by hop over the link
+            // calendars (one event per link crossing, so every link is
+            // charged in true arrival order).
+            if self.data_plane.is_some() {
+                if let Some(path) = self.underlay.path_edges(from, to) {
+                    let path: std::sync::Arc<[vdm_topology::EdgeId]> = path.into();
+                    return self.advance_hop(to, from, msg, path, 0);
+                }
+            }
+        }
+        let delay = self.underlay.sample_one_way_ms(from, to, &mut self.rng);
+        let at = self.now + SimTime::from_ms(delay);
+        self.push(at, EventKind::Deliver { to, from, msg });
+        true
+    }
+
+    /// Move a data packet into link `path[next]` at the current time;
+    /// schedules the next hop (or the final delivery) and returns
+    /// whether the packet survived.
+    fn advance_hop(
+        &mut self,
+        to: HostId,
+        from: HostId,
+        msg: M,
+        path: std::sync::Arc<[vdm_topology::EdgeId]>,
+        next: usize,
+    ) -> bool {
+        let dp = self.data_plane.as_mut().expect("hop events need a data plane");
+        match dp.transit_hop(self.now, path[next]) {
+            Ok(arrival) => {
+                if next + 1 == path.len() {
+                    self.push(arrival, EventKind::Deliver { to, from, msg });
+                } else {
+                    self.push(
+                        arrival,
+                        EventKind::Hop {
+                            to,
+                            from,
+                            msg,
+                            path,
+                            next: next + 1,
+                        },
+                    );
+                }
+                true
+            }
+            Err(_) => {
+                self.counters.data_dropped += 1;
+                self.counters.data_congestion_dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// Schedule a timer for `host`, `delay` from now, carrying `token`.
+    pub fn set_timer(&mut self, host: HostId, delay: SimTime, token: u64) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { host, token });
+    }
+
+    /// Schedule a driver event at absolute time `at`.
+    pub fn schedule_external(&mut self, at: SimTime, token: u64) {
+        self.push(at, EventKind::External { token });
+    }
+
+    /// Run until the queue is exhausted or simulated time would exceed
+    /// `until` (events at exactly `until` are processed). Returns the
+    /// number of events processed by this call.
+    pub fn run<W: World<Msg = M>>(&mut self, world: &mut W, until: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(ev)) if ev.at <= until => {}
+                _ => break,
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.events_processed += 1;
+            n += 1;
+            match ev.kind {
+                EventKind::Deliver { to, from, msg } => {
+                    self.counters.delivered += 1;
+                    world.on_deliver(self, to, from, msg);
+                }
+                EventKind::Hop {
+                    to,
+                    from,
+                    msg,
+                    path,
+                    next,
+                } => {
+                    self.advance_hop(to, from, msg, path, next);
+                }
+                EventKind::Timer { host, token } => world.on_timer(self, host, token),
+                EventKind::External { token } => world.on_external(self, token),
+            }
+        }
+        // Advance the clock to `until` so subsequent relative scheduling
+        // is anchored correctly.
+        if until > self.now && until != SimTime::MAX {
+            self.now = until;
+        }
+        n
+    }
+
+    /// Run until the queue is empty.
+    pub fn run_to_idle<W: World<Msg = M>>(&mut self, world: &mut W) -> u64 {
+        self.run(world, SimTime::MAX)
+    }
+
+    /// True if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::underlay::LatencySpace;
+
+    fn two_host_space(loss: f64) -> Arc<dyn Underlay + Send + Sync> {
+        let rtt = vec![vec![0.0, 10.0], vec![10.0, 0.0]];
+        Arc::new(LatencySpace::from_rtt_matrix(&rtt).with_uniform_loss(loss))
+    }
+
+    /// Ping-pong world: every delivery bounces the counter back until
+    /// it reaches zero.
+    struct PingPong {
+        bounces_left: u32,
+        deliveries: Vec<(SimTime, HostId)>,
+        timers: Vec<(SimTime, u64)>,
+        externals: Vec<(SimTime, u64)>,
+    }
+
+    impl World for PingPong {
+        type Msg = u32;
+        fn on_deliver(&mut self, eng: &mut Engine<u32>, to: HostId, from: HostId, msg: u32) {
+            self.deliveries.push((eng.now(), to));
+            if msg == 999 {
+                return; // background data packet, not part of the ping-pong
+            }
+            assert_eq!(msg, self.bounces_left);
+            if self.bounces_left > 0 {
+                self.bounces_left -= 1;
+                eng.send(to, from, self.bounces_left, SendClass::Control);
+            }
+        }
+        fn on_timer(&mut self, eng: &mut Engine<u32>, _host: HostId, token: u64) {
+            self.timers.push((eng.now(), token));
+        }
+        fn on_external(&mut self, eng: &mut Engine<u32>, token: u64) {
+            self.externals.push((eng.now(), token));
+        }
+    }
+
+    fn fresh_world(bounces: u32) -> PingPong {
+        PingPong {
+            bounces_left: bounces,
+            deliveries: Vec::new(),
+            timers: Vec::new(),
+            externals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ping_pong_latency_accumulates() {
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        let mut w = fresh_world(3);
+        eng.send(HostId(0), HostId(1), 3, SendClass::Control);
+        eng.run_to_idle(&mut w);
+        // 4 deliveries at 5, 10, 15, 20 ms (one-way = rtt/2 = 5 ms).
+        let times: Vec<f64> = w.deliveries.iter().map(|(t, _)| t.as_ms()).collect();
+        assert_eq!(times, vec![5.0, 10.0, 15.0, 20.0]);
+        assert_eq!(w.deliveries[0].1, HostId(1));
+        assert_eq!(w.deliveries[1].1, HostId(0));
+        assert_eq!(eng.counters().control_sent, 4);
+        assert_eq!(eng.counters().delivered, 4);
+        assert!(eng.is_idle());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        let mut w = fresh_world(100);
+        eng.send(HostId(0), HostId(1), 100, SendClass::Control);
+        let n = eng.run(&mut w, SimTime::from_ms(12.0));
+        assert_eq!(n, 2); // deliveries at 5 and 10 ms only
+        assert_eq!(eng.now(), SimTime::from_ms(12.0));
+        assert!(!eng.is_idle());
+    }
+
+    #[test]
+    fn timers_and_externals_fire_in_order() {
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        let mut w = fresh_world(0);
+        eng.schedule_external(SimTime::from_ms(7.0), 70);
+        eng.set_timer(HostId(0), SimTime::from_ms(3.0), 30);
+        eng.set_timer(HostId(1), SimTime::from_ms(3.0), 31);
+        eng.run_to_idle(&mut w);
+        assert_eq!(w.timers.len(), 2);
+        // Same-time events fire in scheduling order.
+        assert_eq!(w.timers[0].1, 30);
+        assert_eq!(w.timers[1].1, 31);
+        assert_eq!(w.externals, vec![(SimTime::from_ms(7.0), 70)]);
+    }
+
+    #[test]
+    fn data_loss_is_sampled_control_is_reliable() {
+        let mut eng = Engine::new(two_host_space(0.5), 42);
+        let mut w = fresh_world(0);
+        let mut delivered = 0;
+        for _ in 0..1000 {
+            if eng.send(HostId(0), HostId(1), 0, SendClass::Data) {
+                delivered += 1;
+            }
+        }
+        eng.run_to_idle(&mut w);
+        let c = eng.counters();
+        assert_eq!(c.data_sent, 1000);
+        assert_eq!(c.data_dropped, 1000 - delivered);
+        // 50 % loss: expect roughly half through.
+        assert!((350..=650).contains(&delivered), "delivered {delivered}");
+        // Control is never dropped.
+        for _ in 0..100 {
+            assert!(eng.send(HostId(0), HostId(1), 0, SendClass::Control));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut eng = Engine::new(two_host_space(0.3), seed);
+            let mut w = fresh_world(20);
+            eng.send(HostId(0), HostId(1), 20, SendClass::Control);
+            for i in 0..50 {
+                eng.send(HostId(0), HostId(1), 999, SendClass::Data);
+                eng.set_timer(HostId(0), SimTime::from_ms(i as f64), i);
+            }
+            eng.run_to_idle(&mut w);
+            (w.deliveries, w.timers, eng.counters())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, run(8).2);
+    }
+
+    #[test]
+    fn take_counters_resets() {
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        eng.send(HostId(0), HostId(1), 0, SendClass::Control);
+        assert_eq!(eng.take_counters().control_sent, 1);
+        assert_eq!(eng.counters().control_sent, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sending to itself")]
+    fn self_send_rejected() {
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        eng.send(HostId(0), HostId(0), 0u32, SendClass::Control);
+    }
+}

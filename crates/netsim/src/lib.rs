@@ -1,0 +1,29 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This is the NS-2-shaped substrate the paper's Chapter 3 evaluation runs
+//! on, reduced to what overlay-multicast experiments need:
+//!
+//! * [`time`] — integer-microsecond simulated clock;
+//! * [`engine`] — event heap, timers, message delivery with per-packet
+//!   loss, and a [`engine::World`] callback trait the overlay driver
+//!   implements;
+//! * [`underlay`] — the two network models: [`underlay::RoutedUnderlay`]
+//!   (router graph + delay-shortest routes, per-link accounting for the
+//!   stress metric — the NS-2 analogue) and [`underlay::LatencySpace`]
+//!   (host-to-host metric space with jitter, inflation and lossy paths —
+//!   the PlanetLab analogue).
+//!
+//! The engine is strictly deterministic: events are ordered by
+//! `(time, sequence-number)` and all randomness flows from one seeded RNG,
+//! so a `(seed, scenario)` pair always reproduces the same run, which the
+//! integration tests assert.
+
+pub mod dataplane;
+pub mod engine;
+pub mod time;
+pub mod underlay;
+
+pub use dataplane::{DataPlane, DataPlaneConfig};
+pub use engine::{Engine, SendClass, World};
+pub use time::SimTime;
+pub use underlay::{HostId, LatencySpace, RoutedUnderlay, Underlay};

@@ -1,0 +1,116 @@
+//! Simulated time as integer microseconds.
+//!
+//! Floating-point clocks accumulate rounding and make event ordering
+//! platform-dependent; the engine therefore keeps time in `u64`
+//! microseconds and converts to/from `f64` milliseconds only at the API
+//! boundary (all latencies in this workspace are expressed in ms).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// Far future; no event should be scheduled here.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From milliseconds (rounded to the nearest microsecond; negative or
+    /// NaN durations clamp to zero).
+    pub fn from_ms(ms: f64) -> Self {
+        if ms.is_nan() || ms <= 0.0 {
+            return SimTime(0);
+        }
+        SimTime((ms * 1_000.0).round() as u64)
+    }
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_ms(1.5).0, 1500);
+        assert_eq!(SimTime::from_secs(2).0, 2_000_000);
+        assert_eq!(SimTime::from_ms(0.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_ms(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_ms(f64::NAN), SimTime::ZERO);
+        let t = SimTime::from_ms(123.456);
+        assert!((t.as_ms() - 123.456).abs() < 1e-3);
+        assert!((SimTime::from_secs(5).as_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(10.0);
+        let b = SimTime::from_ms(4.0);
+        assert_eq!((a + b).as_ms(), 14.0);
+        assert_eq!((a - b).as_ms(), 6.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ms(), 14.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ms(1.0) - SimTime::from_ms(2.0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_ms(1.0) < SimTime::from_ms(2.0));
+        assert_eq!(format!("{}", SimTime::from_secs(3)), "3.000s");
+    }
+}

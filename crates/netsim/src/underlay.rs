@@ -1,0 +1,412 @@
+//! Underlay network models.
+//!
+//! The overlay protocols only ever see *hosts* and *measured distances*;
+//! everything below that is the underlay. Two models back the paper's two
+//! evaluation chapters:
+//!
+//! * [`RoutedUnderlay`] — hosts attached to a router graph, packets follow
+//!   delay-shortest routes (the NS-2 analogue, Chapter 3). Because routes
+//!   are explicit, per-physical-link metrics (stress) are defined.
+//! * [`LatencySpace`] — a host-to-host RTT matrix with optional jitter and
+//!   per-path loss (the PlanetLab analogue, Chapter 5). No physical links;
+//!   resource usage is measured as summed virtual-link latency instead,
+//!   exactly as §5.3 does.
+
+use rand::{Rng, RngCore};
+use vdm_topology::{Apsp, EdgeId, Graph, Millis, NodeId};
+
+/// Index of a simulation host (dense, `0..num_hosts`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// The host index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A network model the engine delivers messages through.
+///
+/// Implementations must be deterministic functions of their construction
+/// inputs; per-sample randomness comes in through the `rng` argument of
+/// [`Underlay::sample_one_way_ms`] only.
+pub trait Underlay {
+    /// Number of hosts.
+    fn num_hosts(&self) -> usize;
+
+    /// Nominal round-trip time between two hosts, ms (what an ideal,
+    /// noiseless probe would measure).
+    fn rtt_ms(&self, a: HostId, b: HostId) -> Millis;
+
+    /// Nominal one-way delay, ms.
+    fn one_way_ms(&self, a: HostId, b: HostId) -> Millis {
+        self.rtt_ms(a, b) / 2.0
+    }
+
+    /// One-way delay for one concrete packet, ms (may add jitter).
+    fn sample_one_way_ms(&self, a: HostId, b: HostId, _rng: &mut dyn RngCore) -> Millis {
+        self.one_way_ms(a, b)
+    }
+
+    /// Probability that a packet from `a` to `b` is lost.
+    fn path_loss(&self, a: HostId, b: HostId) -> f64;
+
+    /// Physical links on the route `a -> b`, if the model has any
+    /// (routed underlays only).
+    fn path_edges(&self, a: HostId, b: HostId) -> Option<Vec<EdgeId>>;
+
+    /// Number of physical links (0 for latency spaces).
+    fn num_links(&self) -> usize {
+        0
+    }
+
+    /// Per-link specs for the queueing data plane (empty for latency
+    /// spaces, which have no modelled links).
+    fn link_specs(&self) -> Vec<crate::dataplane::LinkSpec> {
+        Vec::new()
+    }
+}
+
+/// Hosts attached to a router graph; routes are delay-shortest paths.
+pub struct RoutedUnderlay {
+    graph: Graph,
+    apsp: Apsp,
+    /// Graph node of each host.
+    host_nodes: Vec<NodeId>,
+}
+
+impl RoutedUnderlay {
+    /// Build from a router+host graph and the graph nodes that act as
+    /// hosts (typically from `transit_stub::attach_hosts`).
+    ///
+    /// Runs all-pairs shortest paths once; `O(V * E log V)`.
+    pub fn new(graph: Graph, host_nodes: Vec<NodeId>) -> Self {
+        assert!(!host_nodes.is_empty(), "need at least one host");
+        for &h in &host_nodes {
+            assert!(h.idx() < graph.num_nodes());
+        }
+        let apsp = Apsp::build(&graph);
+        // All hosts must be mutually reachable.
+        for &h in &host_nodes[1..] {
+            assert!(
+                apsp.dist_ms(host_nodes[0], h).is_finite(),
+                "host {h} unreachable"
+            );
+        }
+        Self {
+            graph,
+            apsp,
+            host_nodes,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The routing table.
+    pub fn apsp(&self) -> &Apsp {
+        &self.apsp
+    }
+
+    /// Graph node backing host `h`.
+    pub fn node_of(&self, h: HostId) -> NodeId {
+        self.host_nodes[h.idx()]
+    }
+
+    /// Router-level hop count between two hosts.
+    pub fn hops(&self, a: HostId, b: HostId) -> usize {
+        self.apsp.hop_count(self.node_of(a), self.node_of(b))
+    }
+}
+
+impl Underlay for RoutedUnderlay {
+    fn num_hosts(&self) -> usize {
+        self.host_nodes.len()
+    }
+
+    fn rtt_ms(&self, a: HostId, b: HostId) -> Millis {
+        2.0 * self.apsp.dist_ms(self.node_of(a), self.node_of(b))
+    }
+
+    fn one_way_ms(&self, a: HostId, b: HostId) -> Millis {
+        self.apsp.dist_ms(self.node_of(a), self.node_of(b))
+    }
+
+    fn path_loss(&self, a: HostId, b: HostId) -> f64 {
+        let mut pass = 1.0;
+        for e in self.apsp.path_edges(&self.graph, self.node_of(a), self.node_of(b)) {
+            pass *= 1.0 - self.graph.edge(e).attrs.loss;
+        }
+        1.0 - pass
+    }
+
+    fn path_edges(&self, a: HostId, b: HostId) -> Option<Vec<EdgeId>> {
+        Some(
+            self.apsp
+                .path_edges(&self.graph, self.node_of(a), self.node_of(b)),
+        )
+    }
+
+    fn num_links(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn link_specs(&self) -> Vec<crate::dataplane::LinkSpec> {
+        self.graph
+            .edges()
+            .map(|(_, e)| crate::dataplane::LinkSpec {
+                delay_ms: e.attrs.delay_ms,
+                bandwidth_mbps: e.attrs.bandwidth_mbps,
+            })
+            .collect()
+    }
+}
+
+/// Per-host "lazy responder" profile: with probability `prob`, a packet
+/// *received by* this host is delayed by up to `extra_ms` more.
+///
+/// This models the paper's observation that "sometimes PlanetLab nodes are
+/// lazy to answer the information request. So, the maximum value may not
+/// reflect algorithmic complexity" (§5.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LazyProfile {
+    /// Probability a given packet hits the slow path.
+    pub prob: f64,
+    /// Maximum extra delay, ms (drawn uniformly).
+    pub extra_ms: Millis,
+}
+
+/// Host-to-host metric space with jitter and per-path loss.
+pub struct LatencySpace {
+    n: usize,
+    /// Flattened symmetric nominal RTT matrix, ms.
+    rtt: Vec<f32>,
+    /// Flattened symmetric per-path loss matrix.
+    loss: Vec<f32>,
+    /// Multiplicative jitter amplitude: each sample is scaled by a factor
+    /// uniform in `[1 - j, 1 + j]`.
+    jitter_frac: f64,
+    lazy: Vec<LazyProfile>,
+}
+
+impl LatencySpace {
+    /// Build from a full symmetric RTT matrix (ms). Loss starts at zero,
+    /// jitter at zero.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square/symmetric or has non-positive
+    /// off-diagonal entries.
+    pub fn from_rtt_matrix(rtt: &[Vec<Millis>]) -> Self {
+        let n = rtt.len();
+        assert!(n > 0);
+        let mut flat = vec![0.0f32; n * n];
+        for (i, row) in rtt.iter().enumerate() {
+            assert_eq!(row.len(), n, "RTT matrix must be square");
+            for (j, &v) in row.iter().enumerate() {
+                if i == j {
+                    assert!(v == 0.0, "diagonal must be zero");
+                } else {
+                    assert!(v > 0.0, "RTT {i}->{j} must be positive");
+                    assert!(
+                        (v - rtt[j][i]).abs() < 1e-6,
+                        "RTT matrix must be symmetric"
+                    );
+                }
+                flat[i * n + j] = v as f32;
+            }
+        }
+        Self {
+            n,
+            rtt: flat,
+            loss: vec![0.0; n * n],
+            jitter_frac: 0.0,
+            lazy: vec![LazyProfile::default(); n],
+        }
+    }
+
+    /// Set the same loss probability on every path.
+    pub fn with_uniform_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss));
+        for (i, v) in self.loss.iter_mut().enumerate() {
+            let (a, b) = (i / self.n, i % self.n);
+            *v = if a == b { 0.0 } else { loss as f32 };
+        }
+        self
+    }
+
+    /// Set a full per-path loss matrix.
+    pub fn with_loss_matrix(mut self, loss: &[Vec<f64>]) -> Self {
+        assert_eq!(loss.len(), self.n);
+        for (i, row) in loss.iter().enumerate() {
+            assert_eq!(row.len(), self.n);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((0.0..1.0).contains(&v));
+                self.loss[i * self.n + j] = v as f32;
+            }
+        }
+        self
+    }
+
+    /// Set the multiplicative jitter amplitude (`0.1` = ±10 %).
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&frac));
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// Mark a host as a lazy responder.
+    pub fn set_lazy(&mut self, h: HostId, profile: LazyProfile) {
+        self.lazy[h.idx()] = profile;
+    }
+}
+
+impl Underlay for LatencySpace {
+    fn num_hosts(&self) -> usize {
+        self.n
+    }
+
+    fn rtt_ms(&self, a: HostId, b: HostId) -> Millis {
+        self.rtt[a.idx() * self.n + b.idx()] as Millis
+    }
+
+    fn sample_one_way_ms(&self, a: HostId, b: HostId, rng: &mut dyn RngCore) -> Millis {
+        let mut d = self.one_way_ms(a, b);
+        if self.jitter_frac > 0.0 {
+            let f = 1.0 + self.jitter_frac * (rng.gen::<f64>() * 2.0 - 1.0);
+            d *= f;
+        }
+        let lazy = self.lazy[b.idx()];
+        if lazy.prob > 0.0 && rng.gen::<f64>() < lazy.prob {
+            d += rng.gen::<f64>() * lazy.extra_ms;
+        }
+        d.max(0.001)
+    }
+
+    fn path_loss(&self, a: HostId, b: HostId) -> f64 {
+        self.loss[a.idx() * self.n + b.idx()] as f64
+    }
+
+    fn path_edges(&self, _a: HostId, _b: HostId) -> Option<Vec<EdgeId>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use vdm_topology::graph::{LinkAttrs, NodeKind};
+
+    /// host0 - r0 - r1 - host1, all 1 ms links; r0-r1 has 10 % loss.
+    fn small_routed() -> RoutedUnderlay {
+        let mut g = Graph::new();
+        let h0 = g.add_node(NodeKind::Host);
+        let r0 = g.add_node(NodeKind::Stub);
+        let r1 = g.add_node(NodeKind::Stub);
+        let h1 = g.add_node(NodeKind::Host);
+        g.add_edge(h0, r0, LinkAttrs::delay(1.0));
+        g.add_edge(
+            r0,
+            r1,
+            LinkAttrs {
+                delay_ms: 1.0,
+                loss: 0.1,
+                bandwidth_mbps: 100.0,
+            },
+        );
+        g.add_edge(r1, h1, LinkAttrs::delay(1.0));
+        RoutedUnderlay::new(g, vec![h0, h1])
+    }
+
+    #[test]
+    fn routed_distances_and_paths() {
+        let u = small_routed();
+        assert_eq!(u.num_hosts(), 2);
+        assert_eq!(u.num_links(), 3);
+        let (a, b) = (HostId(0), HostId(1));
+        assert!((u.one_way_ms(a, b) - 3.0).abs() < 1e-6);
+        assert!((u.rtt_ms(a, b) - 6.0).abs() < 1e-6);
+        assert_eq!(u.path_edges(a, b).unwrap().len(), 3);
+        assert_eq!(u.hops(a, b), 3);
+        assert!((u.path_loss(a, b) - 0.1).abs() < 1e-9);
+        assert_eq!(u.path_loss(a, a), 0.0);
+    }
+
+    #[test]
+    fn latency_space_basics() {
+        let rtt = vec![
+            vec![0.0, 10.0, 20.0],
+            vec![10.0, 0.0, 15.0],
+            vec![20.0, 15.0, 0.0],
+        ];
+        let ls = LatencySpace::from_rtt_matrix(&rtt).with_uniform_loss(0.05);
+        assert_eq!(ls.num_hosts(), 3);
+        assert_eq!(ls.rtt_ms(HostId(0), HostId(2)), 20.0);
+        assert_eq!(ls.one_way_ms(HostId(0), HostId(2)), 10.0);
+        assert_eq!(ls.path_loss(HostId(1), HostId(2)), 0.05_f32 as f64);
+        assert_eq!(ls.path_loss(HostId(1), HostId(1)), 0.0);
+        assert!(ls.path_edges(HostId(0), HostId(1)).is_none());
+        assert_eq!(ls.num_links(), 0);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let rtt = vec![vec![0.0, 100.0], vec![100.0, 0.0]];
+        let ls = LatencySpace::from_rtt_matrix(&rtt).with_jitter(0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..200 {
+            let d = ls.sample_one_way_ms(HostId(0), HostId(1), &mut rng);
+            assert!((40.0..=60.0).contains(&d), "sample {d} out of ±20 % band");
+            seen_low |= d < 48.0;
+            seen_high |= d > 52.0;
+        }
+        assert!(seen_low && seen_high, "jitter should actually vary");
+    }
+
+    #[test]
+    fn lazy_hosts_add_tail_latency() {
+        let rtt = vec![vec![0.0, 10.0], vec![10.0, 0.0]];
+        let mut ls = LatencySpace::from_rtt_matrix(&rtt);
+        ls.set_lazy(
+            HostId(1),
+            LazyProfile {
+                prob: 1.0,
+                extra_ms: 500.0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        // Toward the lazy host: inflated.
+        let d = ls.sample_one_way_ms(HostId(0), HostId(1), &mut rng);
+        assert!(d > 5.0);
+        // Away from the lazy host: nominal.
+        let d2 = ls.sample_one_way_ms(HostId(1), HostId(0), &mut rng);
+        assert!((d2 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        let rtt = vec![vec![0.0, 10.0], vec![11.0, 0.0]];
+        let _ = LatencySpace::from_rtt_matrix(&rtt);
+    }
+
+    #[test]
+    fn sampling_default_is_nominal() {
+        let u = small_routed();
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = u.sample_one_way_ms(HostId(0), HostId(1), &mut rng);
+        assert!((d - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,1235 @@
+//! The message-driven peer agent.
+//!
+//! [`ProtocolAgent`] is the generic peer: it runs the join walk of
+//! [`crate::walk`] under a protocol-specific [`WalkPolicy`], answers
+//! queries from other walkers, forwards the stream to its children,
+//! reconnects at the grandparent when orphaned (§3.3), optionally
+//! refines periodically (§3.4), and recovers from "dark" subtrees via a
+//! data-timeout watchdog (a standard liveness mechanism real streaming
+//! overlays need; the paper's simulator sidesteps it by making leaves
+//! atomic).
+
+use crate::msg::{ChildEntry, ConnKind, ConnResult, Msg};
+use crate::peer::PeerState;
+use crate::stats::RunStats;
+use crate::walk::{Walk, WalkConfig, WalkOutcome, WalkPolicy, WalkPurpose, WALK_TOKEN_BIT};
+use rand::Rng;
+use vdm_netsim::{Engine, HostId, SendClass, SimTime};
+
+/// Timer token for the periodic refinement trigger.
+pub const REFINE_TOKEN: u64 = 1 << 61;
+/// Timer token for the data-timeout watchdog.
+pub const DATA_WATCH_TOKEN: u64 = 1 << 60;
+/// Timer token for retrying a failed walk.
+pub const RETRY_TOKEN: u64 = 1 << 59;
+/// Timer token for the heartbeat/pruning cycle.
+pub const HEARTBEAT_TOKEN: u64 = 1 << 58;
+
+/// Heartbeat settings for the ungraceful-failure extension: children
+/// beacon their parent every `period`; parents prune children silent
+/// for `timeout`.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// Beacon interval.
+    pub period: SimTime,
+    /// Silence threshold after which a child is presumed crashed.
+    pub timeout: SimTime,
+}
+
+/// Agent-side tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct AgentConfig {
+    /// Join-walk mechanics (timeouts, retries).
+    pub walk: WalkConfig,
+    /// Refinement period (§3.4: 3 minutes in simulation, 5 minutes on
+    /// PlanetLab); `None` disables refinement, which is the paper's
+    /// default for VDM ("In our regular experiments, we don't use
+    /// refinement").
+    pub refine_period: Option<SimTime>,
+    /// Maintain and propagate root paths (HMTP needs them for
+    /// refinement; VDM does not and saves the overhead).
+    pub maintain_root_path: bool,
+    /// Declare the subtree dark and rejoin if no stream data arrives for
+    /// this long while connected. `None` disables the watchdog (for
+    /// runs without a stream).
+    pub data_timeout: Option<SimTime>,
+    /// Delay before retrying after a completely failed walk.
+    pub retry_delay: SimTime,
+    /// Amplitude of the uniform noise on loss-probe estimates
+    /// (loss-based virtual distances only).
+    pub loss_probe_noise: f64,
+    /// Child-liveness heartbeats (ungraceful-failure extension);
+    /// `None` matches the paper's graceful-leave model.
+    pub heartbeat: Option<HeartbeatConfig>,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            walk: WalkConfig::default(),
+            refine_period: None,
+            maintain_root_path: false,
+            data_timeout: Some(SimTime::from_secs(30)),
+            retry_delay: SimTime::from_secs(5),
+            loss_probe_noise: 0.0,
+            heartbeat: None,
+        }
+    }
+}
+
+/// Everything an agent may touch during a callback.
+pub struct Ctx<'a> {
+    /// The agent's own host id.
+    pub me: HostId,
+    /// The event engine (time, sends, timers, run RNG).
+    pub eng: &'a mut Engine<Msg>,
+    /// Shared run statistics.
+    pub stats: &'a mut RunStats,
+    /// Noise amplitude for loss estimates (copied from the agent
+    /// config by the driver).
+    pub loss_probe_noise: f64,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// Send a message (control or data, classified automatically).
+    pub fn send(&mut self, to: HostId, msg: Msg) {
+        if to == self.me {
+            return;
+        }
+        let class = if msg.is_data() {
+            SendClass::Data
+        } else {
+            SendClass::Control
+        };
+        self.eng.send(self.me, to, msg, class);
+    }
+
+    /// Arm a timer for this host.
+    pub fn timer(&mut self, delay: SimTime, token: u64) {
+        self.eng.set_timer(self.me, delay, token);
+    }
+
+    /// Estimate the path loss probability toward `to` (models a probe
+    /// train: true path loss plus bounded uniform noise). Used only by
+    /// loss-based virtual metrics (Chapter 4); the paper likewise
+    /// obtains loss estimates from a measurement service in simulation.
+    pub fn estimate_loss(&mut self, to: HostId) -> f64 {
+        let p = self.eng.underlay().path_loss(self.me, to);
+        if self.loss_probe_noise > 0.0 {
+            let n = self.loss_probe_noise;
+            let noise = self.eng.rng().gen_range(-n..n);
+            (p + noise).clamp(0.0, 0.99)
+        } else {
+            p
+        }
+    }
+}
+
+/// The driver-facing agent interface.
+pub trait OverlayAgent {
+    /// The driver tells the peer to join the session.
+    fn on_join_cmd(&mut self, ctx: &mut Ctx<'_>);
+    /// The driver tells the peer to leave gracefully (notify parent and
+    /// children, §3.3).
+    fn on_leave_cmd(&mut self, ctx: &mut Ctx<'_>);
+    /// A message arrived.
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg);
+    /// A timer fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+    /// Source only: emit one stream chunk to the children.
+    fn emit_data(&mut self, ctx: &mut Ctx<'_>, seq: u64);
+    /// Current parent.
+    fn parent(&self) -> Option<HostId>;
+    /// Current children.
+    fn children(&self) -> Vec<HostId>;
+    /// Attached to the tree?
+    fn connected(&self) -> bool;
+    /// Out-degree limit.
+    fn degree_limit(&self) -> u32;
+}
+
+/// Builds agents for the driver; one factory per protocol under test.
+pub trait AgentFactory {
+    /// The agent type this factory produces.
+    type Agent: OverlayAgent;
+    /// Create the agent for `host` (its `incarnation`-th session entry).
+    fn make(&self, host: HostId, source: HostId, degree_limit: u32, incarnation: u32)
+        -> Self::Agent;
+}
+
+/// The generic protocol peer; `P` supplies the protocol behaviour.
+pub struct ProtocolAgent<P: WalkPolicy> {
+    state: PeerState,
+    cfg: AgentConfig,
+    policy: P,
+    source: HostId,
+    walk: Option<Walk>,
+    /// Next walk generation base (nonce namespace), unique across
+    /// incarnations.
+    gen_next: u64,
+    /// Time of the original join command (startup timing anchor).
+    join_cmd_at: Option<SimTime>,
+    /// Time we were last orphaned (reconnection timing anchor).
+    orphaned_at: Option<SimTime>,
+    ever_connected: bool,
+    refine_armed: bool,
+    hb_armed: bool,
+    last_data_at: SimTime,
+    /// Last heartbeat (or admission) time per child.
+    hb_seen: Vec<(HostId, SimTime)>,
+}
+
+impl<P: WalkPolicy> ProtocolAgent<P> {
+    /// New agent.
+    pub fn new(
+        host: HostId,
+        source: HostId,
+        degree_limit: u32,
+        incarnation: u32,
+        cfg: AgentConfig,
+        policy: P,
+    ) -> Self {
+        Self {
+            state: PeerState::new(host, degree_limit, host == source),
+            cfg,
+            policy,
+            source,
+            walk: None,
+            gen_next: (incarnation as u64 + 1) << 32,
+            join_cmd_at: None,
+            orphaned_at: None,
+            ever_connected: false,
+            refine_armed: false,
+            hb_armed: false,
+            last_data_at: SimTime::ZERO,
+            hb_seen: Vec::new(),
+        }
+    }
+
+    /// Record child liveness (admission counts as a beacon).
+    fn note_child_alive(&mut self, c: HostId, now: SimTime) {
+        if let Some(e) = self.hb_seen.iter_mut().find(|(h, _)| *h == c) {
+            e.1 = now;
+        } else {
+            self.hb_seen.push((c, now));
+        }
+    }
+
+    fn arm_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(hb) = self.cfg.heartbeat {
+            if !self.hb_armed {
+                self.hb_armed = true;
+                ctx.timer(hb.period, HEARTBEAT_TOKEN);
+            }
+        }
+    }
+
+    /// Peer state (for tests and diagnostics).
+    pub fn state(&self) -> &PeerState {
+        &self.state
+    }
+
+    /// The protocol policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    fn start_walk(&mut self, ctx: &mut Ctx<'_>, purpose: WalkPurpose, start: HostId) {
+        let started_at = match purpose {
+            WalkPurpose::Join => self.join_cmd_at.unwrap_or_else(|| ctx.now()),
+            WalkPurpose::Reconnect => self.orphaned_at.unwrap_or_else(|| ctx.now()),
+            WalkPurpose::Refine => ctx.now(),
+        };
+        let baseline = if purpose == WalkPurpose::Refine {
+            self.state.parent_dist
+        } else {
+            None
+        };
+        let w = Walk::start(
+            purpose,
+            start,
+            self.source,
+            started_at,
+            self.cfg.walk,
+            self.gen_next,
+            baseline,
+            ctx,
+        );
+        self.gen_next = w.generation() + 1_000_000; // room for this walk's nonces
+        self.walk = Some(w);
+    }
+
+    fn become_orphan(&mut self, ctx: &mut Ctx<'_>, notify_parent: bool) {
+        if let (true, Some(p)) = (notify_parent, self.state.parent) {
+            ctx.send(p, Msg::ChildLeave);
+        }
+        self.state.parent = None;
+        self.orphaned_at = Some(ctx.now());
+        let start = self.state.grandparent.unwrap_or(self.source);
+        self.start_walk(ctx, WalkPurpose::Reconnect, start);
+    }
+
+    fn arm_refine(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(p) = self.cfg.refine_period {
+            if !self.refine_armed {
+                self.refine_armed = true;
+                ctx.timer(p, REFINE_TOKEN);
+            }
+        }
+    }
+
+    fn arm_data_watch(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.cfg.data_timeout {
+            ctx.timer(t, DATA_WATCH_TOKEN);
+        }
+    }
+
+    /// Our root path including ourselves (what children should prefix
+    /// their own paths with), when maintained.
+    fn own_path(&self) -> Vec<HostId> {
+        let mut p = self.state.root_path.clone();
+        p.push(self.state.host);
+        p
+    }
+
+    fn broadcast_root_path(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.cfg.maintain_root_path {
+            return;
+        }
+        let path = self.own_path();
+        for (c, _) in self.state.children.clone() {
+            ctx.send(c, Msg::RootPath { path: path.clone() });
+        }
+    }
+
+    fn adopt_parent(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        parent: HostId,
+        grandparent: Option<HostId>,
+        root_path: Vec<HostId>,
+        adopted: Vec<(HostId, crate::VDist)>,
+        vdist: crate::VDist,
+    ) {
+        self.state.parent = Some(parent);
+        self.state.parent_dist = Some(vdist);
+        self.state.grandparent = grandparent;
+        if self.cfg.maintain_root_path {
+            self.state.root_path = root_path;
+        }
+        // Children adopted via a splice: tell them, then treat them as
+        // ordinary children. Transient over-degree is possible if we
+        // gained a child while the request was in flight; we honour the
+        // adoption anyway rather than orphaning the handed-over child.
+        for (c, d) in adopted {
+            if !self.state.has_child(c) {
+                if self.state.free_degree() > 0 {
+                    self.state.add_child(c, d);
+                } else {
+                    self.state.children.push((c, d));
+                }
+            }
+            self.note_child_alive(c, ctx.now());
+            ctx.send(
+                c,
+                Msg::ParentChange {
+                    new_grandparent: Some(parent),
+                },
+            );
+        }
+        // Pre-existing children: their grandparent is our new parent.
+        for (c, _) in self.state.children.clone() {
+            ctx.send(
+                c,
+                Msg::GrandparentChange {
+                    new_grandparent: parent,
+                },
+            );
+        }
+        self.broadcast_root_path(ctx);
+        self.ever_connected = true;
+        self.last_data_at = ctx.now();
+        self.arm_refine(ctx);
+        self.arm_data_watch(ctx);
+        self.arm_heartbeat(ctx);
+    }
+
+    fn finish_walk(&mut self, ctx: &mut Ctx<'_>, outcome: WalkOutcome) {
+        let walk = self.walk.take().expect("finishing an active walk");
+        match outcome {
+            WalkOutcome::Connected {
+                parent,
+                grandparent,
+                root_path,
+                adopted,
+                vdist_to_parent,
+            } => match walk.purpose {
+                WalkPurpose::Join => {
+                    ctx.stats
+                        .startup_s
+                        .push((ctx.now() - walk.started_at).as_secs());
+                    self.adopt_parent(ctx, parent, grandparent, root_path, adopted, vdist_to_parent);
+                }
+                WalkPurpose::Reconnect => {
+                    ctx.stats
+                        .reconnection_s
+                        .push((ctx.now() - walk.started_at).as_secs());
+                    self.adopt_parent(ctx, parent, grandparent, root_path, adopted, vdist_to_parent);
+                }
+                WalkPurpose::Refine => {
+                    if Some(parent) == self.state.parent {
+                        // Already the best parent; nothing to change.
+                        return;
+                    }
+                    if let Some(old) = self.state.parent {
+                        ctx.send(old, Msg::ChildLeave);
+                    }
+                    self.adopt_parent(ctx, parent, grandparent, root_path, adopted, vdist_to_parent);
+                }
+            },
+            WalkOutcome::Failed => {
+                if walk.purpose != WalkPurpose::Refine {
+                    ctx.timer(self.cfg.retry_delay, RETRY_TOKEN);
+                }
+            }
+        }
+    }
+
+    fn handle_conn_req(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        nonce: u64,
+        kind: ConnKind,
+        vdist: crate::VDist,
+    ) {
+        // Dark or detached peers must not accept newcomers; and a
+        // root-path hit means the requester is our ancestor — accepting
+        // would loop the tree.
+        if !self.state.connected()
+            || (self.cfg.maintain_root_path && self.state.root_path.contains(&from))
+        {
+            ctx.send(
+                from,
+                Msg::ConnResp {
+                    nonce,
+                    result: ConnResult::Rejected,
+                },
+            );
+            return;
+        }
+        let root_path = if self.cfg.maintain_root_path {
+            self.own_path()
+        } else {
+            Vec::new()
+        };
+        let accept = |agent: &mut Self, adopted: Vec<HostId>| Msg::ConnResp {
+            nonce,
+            result: ConnResult::Accepted {
+                grandparent: agent.state.parent,
+                adopted,
+                root_path: root_path.clone(),
+            },
+        };
+        let displace = match kind {
+            ConnKind::Splice { displace } => displace,
+            ConnKind::Child => Vec::new(),
+        };
+        let actual: Vec<HostId> = displace
+            .into_iter()
+            .filter(|&c| c != from && self.state.has_child(c))
+            .collect();
+        if !actual.is_empty() {
+            // Case II splice: swap the displaced children for the
+            // requester; degree can only shrink.
+            for &c in &actual {
+                self.state.remove_child(c);
+            }
+            self.state.add_child(from, vdist);
+            self.note_child_alive(from, ctx.now());
+            self.arm_heartbeat(ctx);
+            let msg = accept(self, actual);
+            ctx.send(from, msg);
+            return;
+        }
+        if self.state.has_child(from) {
+            // Repeat request (e.g. refinement landing on the current
+            // parent): refresh the distance.
+            self.state.add_child(from, vdist);
+            self.note_child_alive(from, ctx.now());
+            let msg = accept(self, Vec::new());
+            ctx.send(from, msg);
+        } else if self.state.free_degree() > 0 {
+            self.state.add_child(from, vdist);
+            self.note_child_alive(from, ctx.now());
+            self.arm_heartbeat(ctx);
+            let msg = accept(self, Vec::new());
+            ctx.send(from, msg);
+        } else {
+            // Full: point the requester at our closest child (§3.2 "it
+            // connects to the closest free child"; the child redirects
+            // again if it is itself full).
+            match self.state.closest_child(&[from]) {
+                Some((next, _)) => ctx.send(
+                    from,
+                    Msg::ConnResp {
+                        nonce,
+                        result: ConnResult::Redirect { next },
+                    },
+                ),
+                None => ctx.send(
+                    from,
+                    Msg::ConnResp {
+                        nonce,
+                        result: ConnResult::Rejected,
+                    },
+                ),
+            }
+        }
+    }
+
+    fn forward_data(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        for (c, _) in self.state.children.clone() {
+            ctx.send(c, Msg::Data { seq });
+        }
+    }
+}
+
+impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
+    fn on_join_cmd(&mut self, ctx: &mut Ctx<'_>) {
+        if self.state.is_source {
+            return;
+        }
+        if self.join_cmd_at.is_none() {
+            self.join_cmd_at = Some(ctx.now());
+        }
+        if self.walk.is_none() && !self.state.connected() {
+            self.start_walk(ctx, WalkPurpose::Join, self.source);
+        }
+    }
+
+    fn on_leave_cmd(&mut self, ctx: &mut Ctx<'_>) {
+        for (c, _) in self.state.children.clone() {
+            ctx.send(c, Msg::Leave);
+        }
+        if let Some(p) = self.state.parent {
+            ctx.send(p, Msg::ChildLeave);
+        }
+        self.state.reset();
+        self.walk = None;
+    }
+
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg) {
+        match msg {
+            Msg::Ping { nonce } => ctx.send(from, Msg::Pong { nonce }),
+            Msg::InfoReq { nonce } => {
+                let children = self
+                    .state
+                    .children
+                    .iter()
+                    .map(|&(child, vdist)| ChildEntry { child, vdist })
+                    .collect();
+                ctx.send(
+                    from,
+                    Msg::InfoResp {
+                        nonce,
+                        children,
+                        parent: self.state.parent,
+                    },
+                );
+            }
+            Msg::ConnReq { nonce, kind, vdist } => {
+                self.handle_conn_req(ctx, from, nonce, kind, vdist)
+            }
+            m @ (Msg::InfoResp { .. } | Msg::Pong { .. } | Msg::ConnResp { .. }) => {
+                if let Some(mut walk) = self.walk.take() {
+                    let free = self.state.free_degree();
+                    let outcome = walk.on_msg(ctx, from, &m, &self.policy, free);
+                    self.walk = Some(walk);
+                    if let Some(out) = outcome {
+                        self.finish_walk(ctx, out);
+                    }
+                }
+            }
+            Msg::ParentChange { new_grandparent } => {
+                // A splice: `from` claims to be our new parent and our
+                // old parent should now be our grandparent. Validate to
+                // reject stale splices.
+                if new_grandparent == self.state.parent {
+                    self.state.parent = Some(from);
+                    self.state.parent_dist = None;
+                    self.state.grandparent = new_grandparent;
+                    if self.cfg.maintain_root_path {
+                        self.state.root_path.push(from);
+                        self.broadcast_root_path(ctx);
+                    }
+                    for (c, _) in self.state.children.clone() {
+                        ctx.send(
+                            c,
+                            Msg::GrandparentChange {
+                                new_grandparent: from,
+                            },
+                        );
+                    }
+                } else {
+                    ctx.send(from, Msg::ChildLeave);
+                }
+            }
+            Msg::GrandparentChange { new_grandparent } => {
+                if Some(from) == self.state.parent {
+                    self.state.grandparent = Some(new_grandparent);
+                }
+            }
+            Msg::RootPath { path } => {
+                if self.cfg.maintain_root_path && Some(from) == self.state.parent {
+                    self.state.root_path = path;
+                    self.broadcast_root_path(ctx);
+                }
+            }
+            Msg::Leave => {
+                if Some(from) == self.state.parent {
+                    self.state.parent_dist = None;
+                    self.become_orphan(ctx, false);
+                }
+            }
+            Msg::Heartbeat => {
+                if self.state.has_child(from) {
+                    self.note_child_alive(from, ctx.now());
+                } else {
+                    // A peer beacons us as its parent, but we dropped it
+                    // (e.g. pruned after a false alarm): tell it to
+                    // re-home.
+                    ctx.send(from, Msg::Leave);
+                }
+            }
+            Msg::ChildLeave => {
+                self.state.remove_child(from);
+                self.hb_seen.retain(|(h, _)| *h != from);
+            }
+            Msg::Data { seq } => {
+                if Some(from) == self.state.parent && self.state.accept_seq(seq) {
+                    ctx.stats.received[ctx.me.idx()] += 1;
+                    self.last_data_at = ctx.now();
+                    self.forward_data(ctx, seq);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token & WALK_TOKEN_BIT != 0 {
+            if let Some(mut walk) = self.walk.take() {
+                let free = self.state.free_degree();
+                let outcome = walk.on_timer(ctx, token, &self.policy, free);
+                self.walk = Some(walk);
+                if let Some(out) = outcome {
+                    self.finish_walk(ctx, out);
+                }
+            }
+            return;
+        }
+        match token {
+            REFINE_TOKEN => {
+                if let Some(p) = self.cfg.refine_period {
+                    if self.state.connected() && !self.state.is_source && self.walk.is_none() {
+                        let start =
+                            self.policy
+                                .refine_start(&self.state, self.source, ctx.eng.rng());
+                        self.start_walk(ctx, WalkPurpose::Refine, start);
+                    }
+                    ctx.timer(p, REFINE_TOKEN);
+                }
+            }
+            DATA_WATCH_TOKEN => {
+                if let Some(t) = self.cfg.data_timeout {
+                    if self.state.connected() && !self.state.is_source {
+                        let silent = ctx.now().saturating_sub(self.last_data_at);
+                        if silent >= t && self.walk.is_none() {
+                            // Dark subtree: abandon the parent and rejoin.
+                            self.become_orphan(ctx, true);
+                        }
+                        ctx.timer(t, DATA_WATCH_TOKEN);
+                    }
+                }
+            }
+            HEARTBEAT_TOKEN => {
+                if let Some(hb) = self.cfg.heartbeat {
+                    // Beacon our parent.
+                    if let Some(p) = self.state.parent {
+                        ctx.send(p, Msg::Heartbeat);
+                    }
+                    // Prune silent children (presumed crashed) so their
+                    // degree slots become available again.
+                    let now = ctx.now();
+                    let stale: Vec<HostId> = self
+                        .hb_seen
+                        .iter()
+                        .filter(|&&(_, t)| now.saturating_sub(t) >= hb.timeout)
+                        .map(|&(h, _)| h)
+                        .collect();
+                    for c in stale {
+                        self.state.remove_child(c);
+                        self.hb_seen.retain(|(h, _)| *h != c);
+                    }
+                    ctx.timer(hb.period, HEARTBEAT_TOKEN);
+                }
+            }
+            RETRY_TOKEN
+                if !self.state.connected() && !self.state.is_source && self.walk.is_none() => {
+                    let purpose = if self.ever_connected {
+                        WalkPurpose::Reconnect
+                    } else {
+                        WalkPurpose::Join
+                    };
+                    let start = self.state.grandparent.unwrap_or(self.source);
+                    self.start_walk(ctx, purpose, start);
+                }
+            _ => {}
+        }
+    }
+
+    fn emit_data(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        debug_assert!(self.state.is_source);
+        self.forward_data(ctx, seq);
+    }
+
+    fn parent(&self) -> Option<HostId> {
+        self.state.parent
+    }
+
+    fn children(&self) -> Vec<HostId> {
+        self.state.children.iter().map(|&(c, _)| c).collect()
+    }
+
+    fn connected(&self) -> bool {
+        self.state.connected()
+    }
+
+    fn degree_limit(&self) -> u32 {
+        self.state.degree_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{ChildEntry, ConnKind, ConnResult};
+    use crate::walk::{ProbeResult, WalkStep};
+    use std::sync::Arc;
+    use vdm_netsim::{LatencySpace, World};
+
+    /// Minimal policy: always attach to the node under examination.
+    struct Attach;
+    impl WalkPolicy for Attach {
+        fn vdist(&self, rtt_ms: f64, _l: f64) -> f64 {
+            rtt_ms
+        }
+        fn decide(&self, _p: &ProbeResult, _purpose: WalkPurpose) -> WalkStep {
+            WalkStep::Attach { splice: vec![] }
+        }
+    }
+
+    /// Records everything the agent under test (host 0) sends out.
+    struct Recorder {
+        agent: ProtocolAgent<Attach>,
+        outbox: Vec<(HostId, Msg)>,
+    }
+
+    impl World for Recorder {
+        type Msg = Msg;
+        fn on_deliver(&mut self, eng: &mut Engine<Msg>, to: HostId, from: HostId, msg: Msg) {
+            if to == HostId(0) {
+                let mut stats = RunStats::new(8);
+                let mut ctx = Ctx {
+                    me: HostId(0),
+                    eng,
+                    stats: &mut stats,
+                    loss_probe_noise: 0.0,
+                };
+                self.agent.on_msg(&mut ctx, from, msg);
+            } else {
+                self.outbox.push((to, msg));
+            }
+        }
+        fn on_timer(&mut self, eng: &mut Engine<Msg>, host: HostId, token: u64) {
+            if host == HostId(0) {
+                let mut stats = RunStats::new(8);
+                let mut ctx = Ctx {
+                    me: HostId(0),
+                    eng,
+                    stats: &mut stats,
+                    loss_probe_noise: 0.0,
+                };
+                self.agent.on_timer(&mut ctx, token);
+            }
+        }
+        fn on_external(&mut self, _: &mut Engine<Msg>, _: u64) {}
+    }
+
+    fn space() -> Arc<LatencySpace> {
+        let n = 8;
+        let mut rtt = vec![vec![0.0; n]; n];
+        for (i, row) in rtt.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                if i != j {
+                    *v = 10.0;
+                }
+            }
+        }
+        Arc::new(LatencySpace::from_rtt_matrix(&rtt))
+    }
+
+    /// Agent for host 0 with the given config; not the source unless
+    /// `source` says so.
+    fn harness(cfg: AgentConfig, is_source: bool) -> (Engine<Msg>, Recorder) {
+        let eng = Engine::new(space(), 1);
+        let source = if is_source { HostId(0) } else { HostId(7) };
+        let agent = ProtocolAgent::new(HostId(0), source, 2, 0, cfg, Attach);
+        (
+            eng,
+            Recorder {
+                agent,
+                outbox: Vec::new(),
+            },
+        )
+    }
+
+    /// Deliver a message to the agent "from" another host and run the
+    /// engine for a bounded window (the agent retries failed joins
+    /// forever by design, so running to idle would never return).
+    fn inject(eng: &mut Engine<Msg>, world: &mut Recorder, from: HostId, msg: Msg) {
+        world.on_deliver(eng, HostId(0), from, msg);
+        let until = eng.now() + SimTime::from_ms(300.0);
+        eng.run(world, until);
+    }
+
+    fn take_to(world: &mut Recorder, to: HostId) -> Vec<Msg> {
+        let (mine, rest): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut world.outbox).into_iter().partition(|(t, _)| *t == to);
+        world.outbox = rest;
+        mine.into_iter().map(|(_, m)| m).collect()
+    }
+
+    /// Wire host 0 up as: parent 1, grandparent 2, child 3 (dist 4.0).
+    fn connected_agent() -> (Engine<Msg>, Recorder) {
+        let (eng, mut w) = harness(AgentConfig::default(), false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.grandparent = Some(HostId(2));
+        w.agent.state.parent_dist = Some(10.0);
+        w.agent.state.add_child(HostId(3), 4.0);
+        (eng, w)
+    }
+
+    #[test]
+    fn info_req_reports_children_and_parent() {
+        let (mut eng, mut w) = connected_agent();
+        inject(&mut eng, &mut w, HostId(5), Msg::InfoReq { nonce: 9 });
+        let sent = take_to(&mut w, HostId(5));
+        assert_eq!(
+            sent,
+            vec![Msg::InfoResp {
+                nonce: 9,
+                children: vec![ChildEntry {
+                    child: HostId(3),
+                    vdist: 4.0
+                }],
+                parent: Some(HostId(1)),
+            }]
+        );
+    }
+
+    #[test]
+    fn ping_pong() {
+        let (mut eng, mut w) = connected_agent();
+        inject(&mut eng, &mut w, HostId(4), Msg::Ping { nonce: 3 });
+        assert_eq!(take_to(&mut w, HostId(4)), vec![Msg::Pong { nonce: 3 }]);
+    }
+
+    #[test]
+    fn conn_req_accepts_until_full_then_redirects() {
+        let (mut eng, mut w) = connected_agent();
+        // One slot free (limit 2, child 3 present): accept host 5.
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(5),
+            Msg::ConnReq {
+                nonce: 1,
+                kind: ConnKind::Child,
+                vdist: 6.0,
+            },
+        );
+        let sent = take_to(&mut w, HostId(5));
+        assert!(matches!(
+            &sent[0],
+            Msg::ConnResp {
+                nonce: 1,
+                result: ConnResult::Accepted { grandparent: Some(p), .. }
+            } if *p == HostId(1)
+        ));
+        assert!(w.agent.state.has_child(HostId(5)));
+        // Now full: host 6 gets redirected to the closest child (3).
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(6),
+            Msg::ConnReq {
+                nonce: 2,
+                kind: ConnKind::Child,
+                vdist: 8.0,
+            },
+        );
+        let sent = take_to(&mut w, HostId(6));
+        assert_eq!(
+            sent,
+            vec![Msg::ConnResp {
+                nonce: 2,
+                result: ConnResult::Redirect { next: HostId(3) }
+            }]
+        );
+    }
+
+    #[test]
+    fn unconnected_peers_reject_conn_requests() {
+        let (mut eng, mut w) = harness(AgentConfig::default(), false);
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(5),
+            Msg::ConnReq {
+                nonce: 7,
+                kind: ConnKind::Child,
+                vdist: 1.0,
+            },
+        );
+        assert_eq!(
+            take_to(&mut w, HostId(5)),
+            vec![Msg::ConnResp {
+                nonce: 7,
+                result: ConnResult::Rejected
+            }]
+        );
+    }
+
+    #[test]
+    fn splice_swaps_children_even_when_full() {
+        let (mut eng, mut w) = connected_agent();
+        w.agent.state.add_child(HostId(4), 9.0); // now full (limit 2)
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(5),
+            Msg::ConnReq {
+                nonce: 1,
+                kind: ConnKind::Splice {
+                    displace: vec![HostId(3), HostId(6)], // 6 is not ours
+                },
+                vdist: 2.0,
+            },
+        );
+        let sent = take_to(&mut w, HostId(5));
+        match &sent[0] {
+            Msg::ConnResp {
+                result: ConnResult::Accepted { adopted, .. },
+                ..
+            } => assert_eq!(adopted, &vec![HostId(3)]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!w.agent.state.has_child(HostId(3)));
+        assert!(w.agent.state.has_child(HostId(5)));
+        assert!(w.agent.state.has_child(HostId(4)));
+    }
+
+    #[test]
+    fn parent_change_validates_grandparent() {
+        let (mut eng, mut w) = connected_agent();
+        // Valid splice: claimed grandparent equals our current parent.
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(6),
+            Msg::ParentChange {
+                new_grandparent: Some(HostId(1)),
+            },
+        );
+        assert_eq!(w.agent.state.parent, Some(HostId(6)));
+        assert_eq!(w.agent.state.grandparent, Some(HostId(1)));
+        // Our child was told about its new grandparent.
+        let to_child = take_to(&mut w, HostId(3));
+        assert!(to_child.contains(&Msg::GrandparentChange {
+            new_grandparent: HostId(6)
+        }));
+        // Stale splice: claimed grandparent no longer matches -> refuse.
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(4),
+            Msg::ParentChange {
+                new_grandparent: Some(HostId(9)),
+            },
+        );
+        assert_eq!(w.agent.state.parent, Some(HostId(6)));
+        assert_eq!(take_to(&mut w, HostId(4)), vec![Msg::ChildLeave]);
+    }
+
+    #[test]
+    fn leave_from_parent_triggers_grandparent_walk() {
+        let (mut eng, mut w) = connected_agent();
+        w.agent.on_msg(
+            &mut Ctx {
+                me: HostId(0),
+                eng: &mut eng,
+                stats: &mut RunStats::new(8),
+                loss_probe_noise: 0.0,
+            },
+            HostId(1),
+            Msg::Leave,
+        );
+        assert_eq!(w.agent.state.parent, None);
+        assert!(w.agent.walk.is_some());
+        // The reconnection walk starts at the grandparent (host 2).
+        let mut found = false;
+        eng.run(&mut w, vdm_netsim::SimTime::from_ms(20.0));
+        for m in take_to(&mut w, HostId(2)) {
+            if matches!(m, Msg::InfoReq { .. }) {
+                found = true;
+            }
+        }
+        assert!(found, "expected an InfoReq at the grandparent");
+    }
+
+    #[test]
+    fn leave_from_non_parent_is_ignored() {
+        let (mut eng, mut w) = connected_agent();
+        inject(&mut eng, &mut w, HostId(4), Msg::Leave);
+        assert_eq!(w.agent.state.parent, Some(HostId(1)));
+        assert!(w.agent.walk.is_none());
+    }
+
+    #[test]
+    fn data_only_accepted_from_parent_and_forwarded() {
+        let (mut eng, mut w) = connected_agent();
+        // From a stranger: dropped.
+        inject(&mut eng, &mut w, HostId(4), Msg::Data { seq: 1 });
+        assert!(take_to(&mut w, HostId(3)).is_empty());
+        // From the parent: accepted and forwarded to the child.
+        inject(&mut eng, &mut w, HostId(1), Msg::Data { seq: 2 });
+        assert_eq!(take_to(&mut w, HostId(3)), vec![Msg::Data { seq: 2 }]);
+        // Duplicate: dropped.
+        inject(&mut eng, &mut w, HostId(1), Msg::Data { seq: 2 });
+        assert!(take_to(&mut w, HostId(3)).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_child_gets_a_leave() {
+        let (mut eng, mut w) = connected_agent();
+        inject(&mut eng, &mut w, HostId(6), Msg::Heartbeat);
+        assert_eq!(take_to(&mut w, HostId(6)), vec![Msg::Leave]);
+        // From a real child: silently noted.
+        inject(&mut eng, &mut w, HostId(3), Msg::Heartbeat);
+        assert!(take_to(&mut w, HostId(3)).is_empty());
+    }
+
+    /// Drive a full join handshake by scripting the remote side from
+    /// the recorded outbox (source = host 7).
+    #[test]
+    fn scripted_join_walk_completes() {
+        let (mut eng, mut w) = harness(AgentConfig::default(), false);
+        let mut stats = RunStats::new(8);
+        w.agent.on_join_cmd(&mut Ctx {
+            me: HostId(0),
+            eng: &mut eng,
+            stats: &mut stats,
+            loss_probe_noise: 0.0,
+        });
+        eng.run(&mut w, SimTime::from_ms(50.0));
+        // The walk sent an InfoReq to the source.
+        let info = take_to(&mut w, HostId(7));
+        let Some(Msg::InfoReq { nonce }) = info.first() else {
+            panic!("expected InfoReq, got {info:?}");
+        };
+        // Source answers: one child (host 3, distance 12).
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(7),
+            Msg::InfoResp {
+                nonce: *nonce,
+                children: vec![ChildEntry {
+                    child: HostId(3),
+                    vdist: 12.0,
+                }],
+                parent: None,
+            },
+        );
+        // The walk pings the child.
+        let ping = take_to(&mut w, HostId(3));
+        let Some(Msg::Ping { nonce: ping_nonce }) = ping.first() else {
+            panic!("expected Ping, got {ping:?}");
+        };
+        inject(&mut eng, &mut w, HostId(3), Msg::Pong { nonce: *ping_nonce });
+        // Policy (Attach) fires a ConnReq at the source.
+        let conn = take_to(&mut w, HostId(7));
+        let Some(Msg::ConnReq { nonce: cn, kind, .. }) = conn.first() else {
+            panic!("expected ConnReq, got {conn:?}");
+        };
+        assert_eq!(*kind, ConnKind::Child);
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(7),
+            Msg::ConnResp {
+                nonce: *cn,
+                result: ConnResult::Accepted {
+                    grandparent: None,
+                    adopted: vec![],
+                    root_path: vec![],
+                },
+            },
+        );
+        assert_eq!(w.agent.state.parent, Some(HostId(7)));
+        assert!(w.agent.walk.is_none());
+        assert_eq!(stats.startup_s.len(), 0, "stats captured per-dispatch here");
+    }
+
+    /// No one ever answers: the walk must retry, restart at the
+    /// fallback, and eventually give up (scheduling a later retry)
+    /// without wedging the agent.
+    #[test]
+    fn silent_network_exhausts_walk_restarts() {
+        let cfg = AgentConfig {
+            walk: crate::walk::WalkConfig {
+                timeout: SimTime::from_ms(500.0),
+                info_retries: 1,
+                max_restarts: 2,
+            },
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        let mut stats = RunStats::new(8);
+        w.agent.on_join_cmd(&mut Ctx {
+            me: HostId(0),
+            eng: &mut eng,
+            stats: &mut stats,
+            loss_probe_noise: 0.0,
+        });
+        // Run long enough for all timeouts to fire.
+        eng.run(&mut w, SimTime::from_secs(20));
+        let info_reqs = take_to(&mut w, HostId(7))
+            .into_iter()
+            .filter(|m| matches!(m, Msg::InfoReq { .. }))
+            .count();
+        // initial + 1 retry, then per restart (2) another 2 each, and
+        // the scheduled RETRY walks add more: at least 4 attempts.
+        assert!(info_reqs >= 4, "only {info_reqs} info requests");
+        assert!(!w.agent.state.connected());
+        assert!(w.agent.state.parent.is_none());
+    }
+
+    /// Probe timeouts exclude silent children instead of stalling:
+    /// source answers with two children, only one pongs.
+    #[test]
+    fn silent_children_are_excluded_from_the_decision() {
+        let (mut eng, mut w) = harness(AgentConfig::default(), false);
+        let mut stats = RunStats::new(8);
+        w.agent.on_join_cmd(&mut Ctx {
+            me: HostId(0),
+            eng: &mut eng,
+            stats: &mut stats,
+            loss_probe_noise: 0.0,
+        });
+        eng.run(&mut w, SimTime::from_ms(50.0));
+        let info = take_to(&mut w, HostId(7));
+        let Some(Msg::InfoReq { nonce }) = info.first() else {
+            panic!("expected InfoReq");
+        };
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(7),
+            Msg::InfoResp {
+                nonce: *nonce,
+                children: vec![
+                    ChildEntry { child: HostId(3), vdist: 5.0 },
+                    ChildEntry { child: HostId(4), vdist: 6.0 },
+                ],
+                parent: None,
+            },
+        );
+        // Only child 3 pongs; child 4 stays silent.
+        let pings3 = take_to(&mut w, HostId(3));
+        let Some(Msg::Ping { nonce: n3 }) = pings3.first() else {
+            panic!("expected Ping to h3");
+        };
+        let _ = take_to(&mut w, HostId(4));
+        inject(&mut eng, &mut w, HostId(3), Msg::Pong { nonce: *n3 });
+        // Let the probe deadline fire; the walk proceeds with child 3
+        // only and (policy = Attach) sends a ConnReq to the source.
+        eng.run(&mut w, SimTime::from_secs(5));
+        let conn: Vec<Msg> = take_to(&mut w, HostId(7))
+            .into_iter()
+            .filter(|m| matches!(m, Msg::ConnReq { .. }))
+            .collect();
+        assert!(!conn.is_empty(), "walk stalled on the silent child");
+    }
+
+    #[test]
+    fn root_path_propagates_when_maintained() {
+        let cfg = AgentConfig {
+            maintain_root_path: true,
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.add_child(HostId(3), 4.0);
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(1),
+            Msg::RootPath {
+                path: vec![HostId(7), HostId(1)],
+            },
+        );
+        assert_eq!(w.agent.state.root_path, vec![HostId(7), HostId(1)]);
+        assert_eq!(
+            take_to(&mut w, HostId(3)),
+            vec![Msg::RootPath {
+                path: vec![HostId(7), HostId(1), HostId(0)]
+            }]
+        );
+    }
+
+    #[test]
+    fn ancestors_are_rejected_when_root_paths_are_on() {
+        let cfg = AgentConfig {
+            maintain_root_path: true,
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.root_path = vec![HostId(7), HostId(2), HostId(1)];
+        // Host 2 is our ancestor: accepting it as a child would loop.
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(2),
+            Msg::ConnReq {
+                nonce: 5,
+                kind: ConnKind::Child,
+                vdist: 1.0,
+            },
+        );
+        assert_eq!(
+            take_to(&mut w, HostId(2)),
+            vec![Msg::ConnResp {
+                nonce: 5,
+                result: ConnResult::Rejected
+            }]
+        );
+    }
+}

@@ -1,0 +1,581 @@
+//! The simulation driver: executes a [`Scenario`] against a set of
+//! protocol agents over an underlay, streams data from the source, and
+//! takes the paper's measurements at the scheduled points.
+
+use crate::agent::{AgentFactory, Ctx, OverlayAgent};
+use crate::metrics::{mst_ratio, TreeMetrics};
+use crate::msg::Msg;
+use crate::scenario::{Action, Scenario};
+use crate::stats::{RunStats, SlotMeasurement};
+use crate::tree::TreeSnapshot;
+use std::sync::Arc;
+use vdm_netsim::engine::Counters;
+use vdm_netsim::{Engine, HostId, RoutedUnderlay, SimTime, Underlay, World};
+
+/// External-event token for the periodic stream tick.
+const DATA_TICK: u64 = u64::MAX;
+
+/// Driver tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Stream chunk interval; `None` disables the stream (pure
+    /// tree-construction runs).
+    pub data_interval: Option<SimTime>,
+    /// Compute per-link stress at measurements (requires a routed
+    /// underlay handle).
+    pub compute_stress: bool,
+    /// Compute the tree/MST cost ratio at measurements (O(n²) per
+    /// measurement).
+    pub compute_mst_ratio: bool,
+    /// Loss-probe noise amplitude handed to agents via [`Ctx`].
+    pub loss_probe_noise: f64,
+    /// Enable the NS-2-style queueing data plane (routed underlays
+    /// only): data packets pay serialization/queueing per link and
+    /// drop on buffer overflow.
+    pub data_plane: Option<vdm_netsim::DataPlaneConfig>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            data_interval: Some(SimTime::from_secs(1)),
+            compute_stress: false,
+            compute_mst_ratio: false,
+            loss_probe_noise: 0.0,
+            data_plane: None,
+        }
+    }
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// All collected statistics and measurements.
+    pub stats: RunStats,
+    /// The tree as of the end of the run.
+    pub final_snapshot: TreeSnapshot,
+    /// Engine events processed (throughput benchmarking).
+    pub events: u64,
+    /// Whole-run traffic counters.
+    pub counters: Counters,
+}
+
+struct WorldState<F: AgentFactory> {
+    factory: F,
+    cfg: DriverConfig,
+    source: HostId,
+    agents: Vec<Option<F::Agent>>,
+    in_session: Vec<bool>,
+    incarnations: Vec<u32>,
+    limits: Vec<u32>,
+    stats: RunStats,
+    actions: Vec<(SimTime, Action)>,
+    routed: Option<Arc<RoutedUnderlay>>,
+    seq: u64,
+    end: SimTime,
+    // Slot-delta anchors for loss/overhead measurements.
+    last_counters: Counters,
+    last_expected: u64,
+    last_received: u64,
+    last_chunks: u64,
+}
+
+impl<F: AgentFactory> WorldState<F> {
+    fn dispatch<R>(
+        &mut self,
+        eng: &mut Engine<Msg>,
+        host: HostId,
+        f: impl FnOnce(&mut F::Agent, &mut Ctx<'_>) -> R,
+    ) -> Option<R> {
+        // Split borrows: the agent lives in `agents`, the context needs
+        // `stats` — distinct fields.
+        let agent = self.agents[host.idx()].as_mut()?;
+        let mut ctx = Ctx {
+            me: host,
+            eng,
+            stats: &mut self.stats,
+            loss_probe_noise: self.cfg.loss_probe_noise,
+        };
+        Some(f(agent, &mut ctx))
+    }
+
+    fn snapshot(&self) -> TreeSnapshot {
+        let n = self.agents.len();
+        let mut parent = vec![None; n];
+        let mut members = Vec::new();
+        for (i, slot) in parent.iter_mut().enumerate() {
+            let h = HostId(i as u32);
+            if h == self.source {
+                continue;
+            }
+            if self.in_session[i] {
+                members.push(h);
+                if let Some(a) = &self.agents[i] {
+                    *slot = a.parent();
+                }
+            }
+        }
+        TreeSnapshot {
+            source: self.source,
+            members,
+            parent,
+        }
+    }
+
+    fn measure(&mut self, eng: &mut Engine<Msg>) {
+        let snap = self.snapshot();
+        let underlay = eng.underlay_arc();
+        let tm = TreeMetrics::compute(
+            &snap,
+            &*underlay,
+            if self.cfg.compute_stress {
+                self.routed.as_deref()
+            } else {
+                None
+            },
+        );
+        let errors = snap.validate(&self.limits).len();
+
+        let counters = eng.counters();
+        let d_control = counters.control_sent - self.last_counters.control_sent;
+        let d_data = counters.data_sent - self.last_counters.data_sent;
+        self.last_counters = counters;
+
+        let expected: u64 = self.stats.expected.iter().sum();
+        let received: u64 = self.stats.received.iter().sum();
+        let d_expected = expected - self.last_expected;
+        let d_received = received - self.last_received;
+        self.last_expected = expected;
+        self.last_received = received;
+
+        let d_chunks = self.stats.source_chunks - self.last_chunks;
+        self.last_chunks = self.stats.source_chunks;
+
+        let ratio = if self.cfg.compute_mst_ratio {
+            mst_ratio(&snap, |a, b| underlay.rtt_ms(a, b))
+        } else {
+            None
+        };
+
+        let connected = snap.connected_members().len();
+        self.stats.measurements.push(SlotMeasurement {
+            time_s: eng.now().as_secs(),
+            members: snap.members.len(),
+            connected,
+            stress: tm.stress,
+            stretch: tm.stretch,
+            stretch_leaf_mean: tm.stretch_leaf_mean,
+            hopcount: tm.hopcount,
+            hopcount_leaf_mean: tm.hopcount_leaf_mean,
+            usage_ms: tm.usage_ms,
+            usage_normalized: tm.usage_normalized,
+            loss_rate: if d_expected > 0 {
+                1.0 - d_received as f64 / d_expected as f64
+            } else {
+                0.0
+            },
+            overhead: if d_data > 0 {
+                d_control as f64 / d_data as f64
+            } else {
+                0.0
+            },
+            overhead_per_chunk: if d_chunks > 0 {
+                d_control as f64 / d_chunks as f64
+            } else {
+                0.0
+            },
+            mst_ratio: ratio,
+            tree_errors: errors,
+        });
+    }
+}
+
+impl<F: AgentFactory> World for WorldState<F> {
+    type Msg = Msg;
+
+    fn on_deliver(&mut self, eng: &mut Engine<Msg>, to: HostId, from: HostId, msg: Msg) {
+        self.dispatch(eng, to, |a, ctx| a.on_msg(ctx, from, msg));
+    }
+
+    fn on_timer(&mut self, eng: &mut Engine<Msg>, host: HostId, token: u64) {
+        self.dispatch(eng, host, |a, ctx| a.on_timer(ctx, token));
+    }
+
+    fn on_external(&mut self, eng: &mut Engine<Msg>, token: u64) {
+        if token == DATA_TICK {
+            let Some(interval) = self.cfg.data_interval else {
+                return;
+            };
+            self.seq += 1;
+            let seq = self.seq;
+            self.stats.source_chunks += 1;
+            // Every in-session member should see this chunk.
+            for i in 0..self.agents.len() {
+                if self.in_session[i] && HostId(i as u32) != self.source {
+                    self.stats.expected[i] += 1;
+                }
+            }
+            self.dispatch(eng, self.source, |a, ctx| a.emit_data(ctx, seq));
+            let next = eng.now() + interval;
+            if next <= self.end {
+                eng.schedule_external(next, DATA_TICK);
+            }
+            return;
+        }
+        let (_, action) = self.actions[token as usize];
+        match action {
+            Action::Join(h) => {
+                if !self.in_session[h.idx()] && h != self.source {
+                    self.in_session[h.idx()] = true;
+                    let inc = self.incarnations[h.idx()];
+                    self.incarnations[h.idx()] += 1;
+                    self.agents[h.idx()] =
+                        Some(self.factory.make(h, self.source, self.limits[h.idx()], inc));
+                    self.dispatch(eng, h, |a, ctx| a.on_join_cmd(ctx));
+                }
+            }
+            Action::Leave(h) => {
+                if self.in_session[h.idx()] && h != self.source {
+                    self.dispatch(eng, h, |a, ctx| a.on_leave_cmd(ctx));
+                    self.agents[h.idx()] = None;
+                    self.in_session[h.idx()] = false;
+                }
+            }
+            Action::Crash(h) => {
+                // Ungraceful: the agent vanishes with no notifications;
+                // neighbours find out through heartbeat/data timeouts.
+                if self.in_session[h.idx()] && h != self.source {
+                    self.agents[h.idx()] = None;
+                    self.in_session[h.idx()] = false;
+                }
+            }
+            Action::Measure => self.measure(eng),
+        }
+    }
+}
+
+/// Runs one scenario with one protocol over one underlay.
+pub struct Driver<F: AgentFactory> {
+    eng: Engine<Msg>,
+    world: WorldState<F>,
+}
+
+impl<F: AgentFactory> Driver<F> {
+    /// Build a driver.
+    ///
+    /// * `underlay` — the network (shared, reusable across runs);
+    /// * `routed` — pass the same underlay again when it is a
+    ///   [`RoutedUnderlay`] and stress should be computed;
+    /// * `source` — the streaming root host;
+    /// * `limits[h]` — degree limit per host (must cover all hosts);
+    /// * `seed` — all run randomness (jitter, loss sampling) flows from
+    ///   here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        underlay: Arc<dyn Underlay + Send + Sync>,
+        routed: Option<Arc<RoutedUnderlay>>,
+        source: HostId,
+        factory: F,
+        scenario: &Scenario,
+        limits: Vec<u32>,
+        cfg: DriverConfig,
+        seed: u64,
+    ) -> Self {
+        let n = underlay.num_hosts();
+        assert_eq!(limits.len(), n, "need one degree limit per host");
+        assert!(source.idx() < n);
+        let mut eng = Engine::new(underlay, seed);
+        if let Some(dp_cfg) = cfg.data_plane {
+            eng.enable_data_plane(dp_cfg);
+        }
+        let mut world = WorldState {
+            factory,
+            cfg,
+            source,
+            agents: (0..n).map(|_| None).collect(),
+            in_session: vec![false; n],
+            incarnations: vec![0; n],
+            limits,
+            stats: RunStats::new(n),
+            actions: scenario.actions.clone(),
+            routed,
+            seq: 0,
+            end: scenario.end,
+            last_counters: Counters::default(),
+            last_expected: 0,
+            last_received: 0,
+            last_chunks: 0,
+        };
+        // The source agent exists for the whole run.
+        world.agents[source.idx()] =
+            Some(world.factory.make(source, source, world.limits[source.idx()], 0));
+        // Schedule the scenario and the stream.
+        for (i, (t, _)) in world.actions.iter().enumerate() {
+            eng.schedule_external(*t, i as u64);
+        }
+        if world.cfg.data_interval.is_some() {
+            eng.schedule_external(SimTime::ZERO, DATA_TICK);
+        }
+        Self { eng, world }
+    }
+
+    /// Execute to the scenario horizon and collect results.
+    pub fn run(mut self) -> RunOutput {
+        let end = self.world.end;
+        self.eng.run(&mut self.world, end);
+        RunOutput {
+            final_snapshot: self.world.snapshot(),
+            counters: self.eng.counters(),
+            stats: self.world.stats,
+            events: self.eng.events_processed(),
+        }
+    }
+
+    /// Run only up to `t` (incremental stepping for tests/examples).
+    pub fn run_until(&mut self, t: SimTime) {
+        self.eng.run(&mut self.world, t);
+    }
+
+    /// Current tree.
+    pub fn snapshot(&self) -> TreeSnapshot {
+        self.world.snapshot()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.world.stats
+    }
+
+    /// Simulated time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// Borrow the engine (diagnostics).
+    pub fn engine(&self) -> &Engine<Msg> {
+        &self.eng
+    }
+
+    /// Borrow an agent (tests/diagnostics).
+    pub fn agent(&self, h: HostId) -> Option<&F::Agent> {
+        self.world.agents[h.idx()].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{AgentConfig, ProtocolAgent};
+    use crate::scenario::{ChurnConfig, Scenario};
+    use crate::walk::{ProbeResult, WalkPolicy, WalkStep};
+    use vdm_netsim::LatencySpace;
+
+    /// Trivial policy: always attach to whatever node we are examining
+    /// (with redirects on full nodes this builds a shallow fan tree).
+    struct AttachHere;
+    impl WalkPolicy for AttachHere {
+        fn vdist(&self, rtt_ms: f64, _loss: f64) -> f64 {
+            rtt_ms
+        }
+        fn decide(&self, _probe: &ProbeResult, _purpose: crate::walk::WalkPurpose) -> WalkStep {
+            WalkStep::Attach { splice: vec![] }
+        }
+    }
+
+    struct AttachFactory(AgentConfig);
+    impl AgentFactory for AttachFactory {
+        type Agent = ProtocolAgent<AttachHere>;
+        fn make(&self, h: HostId, src: HostId, limit: u32, inc: u32) -> Self::Agent {
+            ProtocolAgent::new(h, src, limit, inc, self.0, AttachHere)
+        }
+    }
+
+    fn grid_space(n: usize) -> Arc<LatencySpace> {
+        // Hosts on a line, 5 ms apart one way.
+        let mut rtt = vec![vec![0.0; n]; n];
+        for (i, row) in rtt.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                if i != j {
+                    *v = 10.0 * (i as f64 - j as f64).abs();
+                }
+            }
+        }
+        Arc::new(LatencySpace::from_rtt_matrix(&rtt))
+    }
+
+    fn join_only_scenario(hosts: &[HostId]) -> Scenario {
+        Scenario::churn(
+            &ChurnConfig {
+                members: hosts.len(),
+                warmup_s: 10.0,
+                slot_s: 10.0,
+                slots: 1,
+                churn_pct: 0.0,
+            },
+            hosts,
+            3,
+        )
+    }
+
+    #[test]
+    fn star_forms_and_measures() {
+        let space = grid_space(4);
+        let hosts = [HostId(1), HostId(2), HostId(3)];
+        let scenario = join_only_scenario(&hosts);
+        let driver = Driver::new(
+            space.clone(),
+            None,
+            HostId(0),
+            AttachFactory(AgentConfig::default()),
+            &scenario,
+            vec![10; 4],
+            DriverConfig::default(),
+            1,
+        );
+        let out = driver.run();
+        assert_eq!(out.stats.startup_s.len(), 3);
+        assert!(out.stats.startup_s.iter().all(|&s| s < 1.0));
+        let snap = &out.final_snapshot;
+        assert_eq!(snap.connected_members().len(), 3);
+        for &m in &snap.members {
+            assert_eq!(snap.parent_of(m), Some(HostId(0)));
+        }
+        assert!(snap.validate(&[10, 10, 10, 10]).is_empty());
+        // Measurements were taken and show a working stream.
+        assert_eq!(out.stats.measurements.len(), 2);
+        let last = out.stats.measurements.last().unwrap();
+        assert_eq!(last.members, 3);
+        assert_eq!(last.connected, 3);
+        assert!(last.loss_rate < 0.05, "loss {}", last.loss_rate);
+        assert!((last.stretch.mean - 1.0).abs() < 1e-6);
+        assert_eq!(last.tree_errors, 0);
+        // Overall loss includes the few chunks each node misses between
+        // its join command and its first connection; with only ~15
+        // chunks in this tiny run that quantizes coarsely.
+        assert!(out.stats.overall_loss() < 0.2);
+    }
+
+    #[test]
+    fn degree_limit_redirects_to_children() {
+        let space = grid_space(5);
+        let hosts = [HostId(1), HostId(2), HostId(3), HostId(4)];
+        let scenario = join_only_scenario(&hosts);
+        // Source can take 1 child only; everyone chains.
+        let driver = Driver::new(
+            space.clone(),
+            None,
+            HostId(0),
+            AttachFactory(AgentConfig::default()),
+            &scenario,
+            vec![1, 1, 1, 1, 1],
+            DriverConfig::default(),
+            7,
+        );
+        let out = driver.run();
+        let snap = &out.final_snapshot;
+        assert_eq!(snap.connected_members().len(), 4);
+        assert!(snap.validate(&[1; 5]).is_empty());
+        // Chain: max depth is 4.
+        let max_depth = snap
+            .depths()
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap();
+        assert_eq!(max_depth, 4);
+    }
+
+    #[test]
+    fn leave_triggers_reconnection() {
+        let space = grid_space(5);
+        let hosts = [HostId(1), HostId(2), HostId(3), HostId(4)];
+        let cfg = ChurnConfig {
+            members: 4,
+            warmup_s: 10.0,
+            slot_s: 20.0,
+            slots: 4,
+            churn_pct: 25.0, // one leave+join per slot
+        };
+        let scenario = Scenario::churn(&cfg, &hosts, 5);
+        assert!(scenario.num_leaves() > 0);
+        let driver = Driver::new(
+            space.clone(),
+            None,
+            HostId(0),
+            AttachFactory(AgentConfig::default()),
+            &scenario,
+            vec![2; 5],
+            DriverConfig::default(),
+            11,
+        );
+        let out = driver.run();
+        // Some orphans must have reconnected (leaves of interior nodes).
+        let last = out.stats.measurements.last().unwrap();
+        assert_eq!(last.tree_errors, 0);
+        assert_eq!(last.connected, last.members);
+        // The run saw the scheduled joins (initial + churn).
+        assert_eq!(out.stats.startup_s.len(), scenario.num_joins());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let space = grid_space(5);
+        let hosts = [HostId(1), HostId(2), HostId(3), HostId(4)];
+        let cfg = ChurnConfig {
+            members: 4,
+            warmup_s: 10.0,
+            slot_s: 20.0,
+            slots: 3,
+            churn_pct: 25.0,
+        };
+        let scenario = Scenario::churn(&cfg, &hosts, 5);
+        let run = |seed| {
+            let driver = Driver::new(
+                space.clone(),
+                None,
+                HostId(0),
+                AttachFactory(AgentConfig::default()),
+                &scenario,
+                vec![2; 5],
+                DriverConfig::default(),
+                seed,
+            );
+            let out = driver.run();
+            (
+                out.stats.startup_s.clone(),
+                out.stats.overall_loss(),
+                out.final_snapshot.parent.clone(),
+                out.events,
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn no_stream_mode() {
+        let space = grid_space(3);
+        let hosts = [HostId(1), HostId(2)];
+        let scenario = join_only_scenario(&hosts);
+        let driver = Driver::new(
+            space,
+            None,
+            HostId(0),
+            AttachFactory(AgentConfig {
+                data_timeout: None,
+                ..AgentConfig::default()
+            }),
+            &scenario,
+            vec![5; 3],
+            DriverConfig {
+                data_interval: None,
+                ..DriverConfig::default()
+            },
+            2,
+        );
+        let out = driver.run();
+        assert_eq!(out.stats.source_chunks, 0);
+        assert_eq!(out.stats.overall_loss(), 0.0);
+        assert_eq!(out.final_snapshot.connected_members().len(), 2);
+    }
+}

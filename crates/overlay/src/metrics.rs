@@ -1,0 +1,416 @@
+//! Tree metrics: the paper's Eqs. 3.4–3.7 and §5.3 measures.
+//!
+//! All structural metrics are computed analytically from a
+//! [`TreeSnapshot`] plus the underlay: stress counts, per link, how many
+//! tree edges route over it; stretch compares tree delay with unicast
+//! delay; usage sums overlay-link latencies. Loss and overhead come from
+//! traffic counters in the driver, not from here.
+
+use crate::stats::Summary;
+use crate::tree::TreeSnapshot;
+use vdm_netsim::{HostId, RoutedUnderlay, Underlay};
+use vdm_topology::mst;
+
+/// Structural metrics of one snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct TreeMetrics {
+    /// Per-used-link stress (Eq. 3.4); `None` on latency-space underlays
+    /// which have no physical links.
+    pub stress: Option<Summary>,
+    /// Per-receiver stretch (Eq. 3.5), over connected members with a
+    /// rooted chain.
+    pub stretch: Summary,
+    /// Mean stretch over leaf members.
+    pub stretch_leaf_mean: f64,
+    /// Per-receiver overlay hop count.
+    pub hopcount: Summary,
+    /// Mean hop count over leaf members.
+    pub hopcount_leaf_mean: f64,
+    /// Sum of one-way latencies over overlay tree links, ms.
+    pub usage_ms: f64,
+    /// `usage_ms` / the unicast star's usage (source directly to every
+    /// connected member).
+    pub usage_normalized: f64,
+}
+
+impl TreeMetrics {
+    /// Compute all structural metrics. Pass `routed` when the underlay
+    /// is a [`RoutedUnderlay`] so that stress can be attributed to
+    /// physical links.
+    pub fn compute(
+        snap: &TreeSnapshot,
+        underlay: &(dyn Underlay + Send + Sync),
+        routed: Option<&RoutedUnderlay>,
+    ) -> Self {
+        let depths = snap.depths();
+        let children = snap.children();
+        let rooted: Vec<HostId> = snap
+            .connected_members()
+            .into_iter()
+            .filter(|m| depths[m.idx()].is_some())
+            .collect();
+
+        // Tree delay from the source to each rooted member: accumulate
+        // down the tree (children lists only contain rooted members'
+        // edges).
+        let mut tree_delay = vec![f64::NAN; snap.parent.len()];
+        tree_delay[snap.source.idx()] = 0.0;
+        let mut stack = vec![snap.source];
+        while let Some(v) = stack.pop() {
+            for &c in &children[v.idx()] {
+                tree_delay[c.idx()] = tree_delay[v.idx()] + underlay.one_way_ms(v, c);
+                stack.push(c);
+            }
+        }
+
+        let is_leaf = |m: HostId| children[m.idx()].is_empty();
+
+        let mut stretches = Vec::with_capacity(rooted.len());
+        let mut leaf_stretches = Vec::new();
+        let mut hops = Vec::with_capacity(rooted.len());
+        let mut leaf_hops = Vec::new();
+        for &m in &rooted {
+            let direct = underlay.one_way_ms(snap.source, m);
+            if direct > 0.0 && tree_delay[m.idx()].is_finite() {
+                let s = tree_delay[m.idx()] / direct;
+                stretches.push(s);
+                if is_leaf(m) {
+                    leaf_stretches.push(s);
+                }
+            }
+            let h = depths[m.idx()].expect("rooted member has a depth") as f64;
+            hops.push(h);
+            if is_leaf(m) {
+                leaf_hops.push(h);
+            }
+        }
+
+        // Usage: sum of overlay-link latencies; normalize by the star.
+        let usage_ms: f64 = snap
+            .edges()
+            .iter()
+            .map(|&(p, c)| underlay.one_way_ms(p, c))
+            .sum();
+        let star_ms: f64 = rooted
+            .iter()
+            .map(|&m| underlay.one_way_ms(snap.source, m))
+            .sum();
+        let usage_normalized = if star_ms > 0.0 { usage_ms / star_ms } else { 0.0 };
+
+        // Stress over physical links (routed underlays only).
+        let stress = routed.map(|r| {
+            let mut per_link = vec![0u32; r.num_links()];
+            for (p, c) in snap.edges() {
+                if let Some(edges) = r.path_edges(p, c) {
+                    for e in edges {
+                        per_link[e.idx()] += 1;
+                    }
+                }
+            }
+            Summary::of(
+                per_link
+                    .iter()
+                    .filter(|&&s| s > 0)
+                    .map(|&s| s as f64),
+            )
+        });
+
+        let mean_or_zero = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+
+        Self {
+            stress,
+            stretch: Summary::of(stretches.iter().copied()),
+            stretch_leaf_mean: mean_or_zero(&leaf_stretches),
+            hopcount: Summary::of(hops.iter().copied()),
+            hopcount_leaf_mean: mean_or_zero(&leaf_hops),
+            usage_ms,
+            usage_normalized,
+        }
+    }
+}
+
+/// Tree cost / MST cost over the source plus all connected members,
+/// under the metric `dist` (§5.4.6 runs this with RTT). Returns `None`
+/// when fewer than 2 connected members exist.
+pub fn mst_ratio(
+    snap: &TreeSnapshot,
+    mut dist: impl FnMut(HostId, HostId) -> f64,
+) -> Option<f64> {
+    let depths = snap.depths();
+    let mut points: Vec<HostId> = vec![snap.source];
+    points.extend(
+        snap.connected_members()
+            .into_iter()
+            .filter(|m| depths[m.idx()].is_some()),
+    );
+    if points.len() < 3 {
+        return None;
+    }
+    // Tree cost over the same point set/metric.
+    let tree_cost: f64 = points[1..]
+        .iter()
+        .map(|&m| dist(snap.parent_of(m).expect("connected"), m))
+        .sum();
+    let mst = mst::prim(points.len(), 0, |a, b| dist(points[a], points[b]));
+    if mst.cost <= 0.0 {
+        return None;
+    }
+    Some(tree_cost / mst.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdm_netsim::LatencySpace;
+    use vdm_topology::graph::{Graph, LinkAttrs, NodeKind};
+
+    /// Chain latency space: hosts at positions 0, 10, 20, 30 ms one-way
+    /// (RTT = 2x |difference|).
+    fn chain_space() -> LatencySpace {
+        let pos = [0.0_f64, 10.0, 20.0, 30.0];
+        let n = pos.len();
+        let mut rtt = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    rtt[i][j] = 2.0 * (pos[i] - pos[j]).abs();
+                }
+            }
+        }
+        LatencySpace::from_rtt_matrix(&rtt)
+    }
+
+    /// Chain tree: 0 -> 1 -> 2 -> 3.
+    fn chain_tree() -> TreeSnapshot {
+        TreeSnapshot {
+            source: HostId(0),
+            members: vec![HostId(1), HostId(2), HostId(3)],
+            parent: vec![None, Some(HostId(0)), Some(HostId(1)), Some(HostId(2))],
+        }
+    }
+
+    #[test]
+    fn chain_metrics() {
+        let space = chain_space();
+        let m = TreeMetrics::compute(&chain_tree(), &space, None);
+        // On a line the chain is delay-optimal: stretch 1 everywhere.
+        assert!((m.stretch.mean - 1.0).abs() < 1e-9);
+        assert_eq!(m.stretch.count, 3);
+        assert_eq!(m.hopcount.mean, 2.0); // depths 1,2,3
+        assert_eq!(m.hopcount.max, 3.0);
+        assert_eq!(m.hopcount_leaf_mean, 3.0); // only h3 is a leaf
+        assert!((m.usage_ms - 30.0).abs() < 1e-9); // 10+10+10
+        // Star usage: 10+20+30 = 60 -> normalized 0.5.
+        assert!((m.usage_normalized - 0.5).abs() < 1e-9);
+        assert!(m.stress.is_none());
+    }
+
+    #[test]
+    fn star_tree_metrics() {
+        let space = chain_space();
+        let star = TreeSnapshot {
+            source: HostId(0),
+            members: vec![HostId(1), HostId(2), HostId(3)],
+            parent: vec![None, Some(HostId(0)), Some(HostId(0)), Some(HostId(0))],
+        };
+        let m = TreeMetrics::compute(&star, &space, None);
+        assert!((m.stretch.mean - 1.0).abs() < 1e-9); // direct connections
+        assert_eq!(m.hopcount.mean, 1.0);
+        assert!((m.usage_normalized - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_on_routed_underlay() {
+        // hosts h0,h1,h2 all behind one router r: every overlay edge
+        // crosses the shared access links.
+        let mut g = Graph::new();
+        let r = g.add_node(NodeKind::Stub);
+        let h0 = g.add_node(NodeKind::Host);
+        let h1 = g.add_node(NodeKind::Host);
+        let h2 = g.add_node(NodeKind::Host);
+        g.add_edge(h0, r, LinkAttrs::delay(1.0));
+        g.add_edge(h1, r, LinkAttrs::delay(1.0));
+        g.add_edge(h2, r, LinkAttrs::delay(1.0));
+        let routed = RoutedUnderlay::new(g, vec![h0, h1, h2]);
+        // Tree: h0 -> h1, h0 -> h2 (host ids 0,1,2).
+        let snap = TreeSnapshot {
+            source: HostId(0),
+            members: vec![HostId(1), HostId(2)],
+            parent: vec![None, Some(HostId(0)), Some(HostId(0))],
+        };
+        let m = TreeMetrics::compute(&snap, &routed, Some(&routed));
+        let stress = m.stress.unwrap();
+        // Link h0-r carries both tree edges (stress 2); links r-h1 and
+        // r-h2 carry one each. Mean = (2+1+1)/3.
+        assert!((stress.mean - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stress.max, 2.0);
+        assert_eq!(stress.count, 3);
+    }
+
+    #[test]
+    fn unicast_star_has_stress_one_behind_distinct_paths() {
+        // Distinct access paths: stress 1 on every used link.
+        let mut g = Graph::new();
+        let r0 = g.add_node(NodeKind::Stub);
+        let r1 = g.add_node(NodeKind::Stub);
+        g.add_edge(r0, r1, LinkAttrs::delay(5.0));
+        let s = g.add_node(NodeKind::Host);
+        let a = g.add_node(NodeKind::Host);
+        g.add_edge(s, r0, LinkAttrs::delay(1.0));
+        g.add_edge(a, r1, LinkAttrs::delay(1.0));
+        let routed = RoutedUnderlay::new(g, vec![s, a]);
+        let snap = TreeSnapshot {
+            source: HostId(0),
+            members: vec![HostId(1)],
+            parent: vec![None, Some(HostId(0))],
+        };
+        let m = TreeMetrics::compute(&snap, &routed, Some(&routed));
+        let stress = m.stress.unwrap();
+        assert_eq!(stress.mean, 1.0);
+        assert_eq!(stress.count, 3);
+    }
+
+    #[test]
+    fn mst_ratio_of_chain_is_one() {
+        let space = chain_space();
+        let snap = chain_tree();
+        let r = mst_ratio(&snap, |a, b| space.rtt_ms(a, b)).unwrap();
+        assert!((r - 1.0).abs() < 1e-9);
+        // A star on the chain metric costs 60 vs MST 30 -> ratio 2.
+        let star = TreeSnapshot {
+            source: HostId(0),
+            members: vec![HostId(1), HostId(2), HostId(3)],
+            parent: vec![None, Some(HostId(0)), Some(HostId(0)), Some(HostId(0))],
+        };
+        let r2 = mst_ratio(&star, |a, b| space.rtt_ms(a, b)).unwrap();
+        assert!((r2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mst_ratio_requires_enough_members() {
+        let snap = TreeSnapshot {
+            source: HostId(0),
+            members: vec![HostId(1)],
+            parent: vec![None, Some(HostId(0))],
+        };
+        assert!(mst_ratio(&snap, |_, _| 1.0).is_none());
+    }
+
+    #[test]
+    fn disconnected_members_are_excluded() {
+        let space = Arc::new(chain_space());
+        let mut snap = chain_tree();
+        snap.parent[2] = None; // h2 mid-join; h3's chain passes h2 -> broken
+        let m = TreeMetrics::compute(&snap, &*space, None);
+        assert_eq!(m.stretch.count, 1); // only h1 measured
+        assert_eq!(m.hopcount.count, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use vdm_topology::graph::{Graph, LinkAttrs, NodeKind};
+    use vdm_topology::NodeId;
+
+    proptest! {
+        /// On a routed underlay (where shortest-path distances satisfy
+        /// the triangle inequality by construction), stretch is ≥ 1
+        /// for every receiver, whatever the tree shape.
+        #[test]
+        fn routed_stretch_never_below_one(seed in 0u64..200) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Random connected router graph with 4..10 hosts attached.
+            let routers = rng.gen_range(5..15usize);
+            let mut g = Graph::with_nodes(routers, NodeKind::Stub);
+            for v in 1..routers {
+                let u = rng.gen_range(0..v);
+                g.add_edge(
+                    NodeId(u as u32),
+                    NodeId(v as u32),
+                    LinkAttrs::delay(rng.gen_range(1.0..20.0)),
+                );
+            }
+            for _ in 0..routers {
+                let a = rng.gen_range(0..routers);
+                let b = rng.gen_range(0..routers);
+                if a != b && g.find_edge(NodeId(a as u32), NodeId(b as u32)).is_none() {
+                    g.add_edge(
+                        NodeId(a as u32),
+                        NodeId(b as u32),
+                        LinkAttrs::delay(rng.gen_range(1.0..20.0)),
+                    );
+                }
+            }
+            let num_hosts = rng.gen_range(4..10usize);
+            let mut host_nodes = Vec::new();
+            for _ in 0..num_hosts {
+                let r = NodeId(rng.gen_range(0..routers) as u32);
+                let h = g.add_node(NodeKind::Host);
+                g.add_edge(h, r, LinkAttrs::delay(rng.gen_range(0.5..3.0)));
+                host_nodes.push(h);
+            }
+            let routed = RoutedUnderlay::new(g, host_nodes);
+            // Random tree over the hosts rooted at host 0.
+            let mut parent = vec![None; num_hosts];
+            let members: Vec<HostId> = (1..num_hosts as u32).map(HostId).collect();
+            for v in 1..num_hosts {
+                parent[v] = Some(HostId(rng.gen_range(0..v) as u32));
+            }
+            let snap = TreeSnapshot {
+                source: HostId(0),
+                members,
+                parent,
+            };
+            let m = TreeMetrics::compute(&snap, &routed, Some(&routed));
+            if m.stretch.count > 0 {
+                prop_assert!(m.stretch.min >= 1.0 - 1e-9, "stretch {}", m.stretch.min);
+            }
+            // Stress is at least 1 on every used link by definition.
+            if let Some(s) = m.stress {
+                if s.count > 0 {
+                    prop_assert!(s.min >= 1.0);
+                }
+            }
+            // Usage equals the sum of edge delays and is bounded by
+            // depth * star usage.
+            prop_assert!(m.usage_ms >= 0.0);
+        }
+
+        /// The MST ratio of any valid snapshot is ≥ 1 under any metric.
+        #[test]
+        fn mst_ratio_at_least_one(seed in 0u64..200) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let n = rng.gen_range(4..12usize);
+            let mut m = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let w = rng.gen_range(1.0..100.0);
+                    m[i][j] = w;
+                    m[j][i] = w;
+                }
+            }
+            let mut parent = vec![None; n];
+            for v in 1..n {
+                parent[v] = Some(HostId(rng.gen_range(0..v) as u32));
+            }
+            let snap = TreeSnapshot {
+                source: HostId(0),
+                members: (1..n as u32).map(HostId).collect(),
+                parent,
+            };
+            let ratio = mst_ratio(&snap, |a, b| m[a.idx()][b.idx()]).unwrap();
+            prop_assert!(ratio >= 1.0 - 1e-9, "ratio {ratio}");
+        }
+    }
+}

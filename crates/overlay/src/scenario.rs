@@ -1,0 +1,295 @@
+//! Seeded join/leave/churn schedules.
+//!
+//! §3.6.2: "We give 2000s for join process at the beginning. We take
+//! 400s as a time interval and define the churn based on that interval.
+//! Based on the churn rate, a number of nodes join and leave the tree.
+//! [...] At the end of every time slot, we give 100s for tree to come to
+//! steady state, then we do the measurements." [`Scenario::churn`]
+//! reproduces exactly that; [`Scenario::growth`] reproduces the Chapter 4
+//! shape ("At each interval 50 nodes join, and then we do the
+//! measurement").
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use vdm_netsim::{HostId, SimTime};
+
+/// One scheduled driver action.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// Host joins the session.
+    Join(HostId),
+    /// Host leaves the session (gracefully, notifying neighbours).
+    Leave(HostId),
+    /// Host crashes: it vanishes without notifying anyone (ungraceful
+    /// churn; neighbours must detect it via heartbeats / the stream
+    /// watchdog).
+    Crash(HostId),
+    /// Take a measurement snapshot.
+    Measure,
+}
+
+/// A full run schedule.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Time-ordered actions (stable order within equal times).
+    pub actions: Vec<(SimTime, Action)>,
+    /// Simulation horizon.
+    pub end: SimTime,
+}
+
+/// Parameters for [`Scenario::churn`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Steady-state overlay population.
+    pub members: usize,
+    /// Initial join phase length, seconds (paper: 2000 s).
+    pub warmup_s: f64,
+    /// Churn slot length, seconds (paper: 400 s).
+    pub slot_s: f64,
+    /// Number of churn slots.
+    pub slots: usize,
+    /// Per-slot churn as a percentage of the population (paper: 1–20 %);
+    /// at 10 % with 200 members, 20 leave and 20 join each slot.
+    pub churn_pct: f64,
+}
+
+impl Scenario {
+    /// The paper's churn scenario over the candidate host pool
+    /// (`candidates` must exclude the source and contain at least
+    /// `members` hosts; with extra candidates, joiners rotate through
+    /// the pool as the paper describes — "Some nodes may join and leave
+    /// several times while some never join").
+    pub fn churn(cfg: &ChurnConfig, candidates: &[HostId], seed: u64) -> Self {
+        assert!(cfg.members >= 1 && candidates.len() >= cfg.members);
+        assert!(cfg.slot_s > 0.0 && cfg.warmup_s >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7363_656e);
+        let mut actions = Vec::new();
+
+        // Initial population: first `members` of a shuffled pool, joining
+        // at uniform times over the warmup.
+        let mut pool = candidates.to_vec();
+        shuffle(&mut pool, &mut rng);
+        let mut inside: Vec<HostId> = pool[..cfg.members].to_vec();
+        let mut outside: Vec<HostId> = pool[cfg.members..].to_vec();
+        for &h in &inside {
+            let t = rng.gen_range(0.0..cfg.warmup_s.max(1.0));
+            actions.push((SimTime::from_ms(t * 1000.0), Action::Join(h)));
+        }
+        actions.push((SimTime::from_ms(cfg.warmup_s * 1000.0), Action::Measure));
+
+        let per_slot = ((cfg.churn_pct / 100.0) * cfg.members as f64).round() as usize;
+        for slot in 0..cfg.slots {
+            let start = cfg.warmup_s + slot as f64 * cfg.slot_s;
+            let t_churn = SimTime::from_ms(start * 1000.0);
+            // Leaves: random current members.
+            for _ in 0..per_slot.min(inside.len().saturating_sub(1)) {
+                let i = rng.gen_range(0..inside.len());
+                let h = inside.swap_remove(i);
+                outside.push(h);
+                actions.push((t_churn, Action::Leave(h)));
+            }
+            // Joins: random outsiders, restoring the population.
+            while inside.len() < cfg.members && !outside.is_empty() {
+                let i = rng.gen_range(0..outside.len());
+                let h = outside.swap_remove(i);
+                // Stagger re-joins a little so the walk traffic is not
+                // one synchronized burst.
+                let jitter = rng.gen_range(0.0..(cfg.slot_s * 0.1));
+                actions.push((
+                    SimTime::from_ms((start + jitter) * 1000.0),
+                    Action::Join(h),
+                ));
+                inside.push(h);
+            }
+            // Measure at the end of the slot (≥ 100 s after the churn
+            // burst for the paper's parameters).
+            let t_measure = SimTime::from_ms((start + cfg.slot_s) * 1000.0);
+            actions.push((t_measure, Action::Measure));
+        }
+
+        let end = SimTime::from_ms((cfg.warmup_s + cfg.slots as f64 * cfg.slot_s + 1.0) * 1000.0);
+        Self::finish(actions, end)
+    }
+
+    /// Chapter 4 growth scenario: `batches` batches of `batch_size`
+    /// joins, one every `interval_s`, measuring after each batch.
+    pub fn growth(
+        batch_size: usize,
+        batches: usize,
+        interval_s: f64,
+        candidates: &[HostId],
+        seed: u64,
+    ) -> Self {
+        assert!(candidates.len() >= batch_size * batches);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6772_6f77);
+        let mut pool = candidates.to_vec();
+        shuffle(&mut pool, &mut rng);
+        let mut actions = Vec::new();
+        for b in 0..batches {
+            let start = b as f64 * interval_s;
+            for i in 0..batch_size {
+                let h = pool[b * batch_size + i];
+                let t = start + rng.gen_range(0.0..(interval_s * 0.5));
+                actions.push((SimTime::from_ms(t * 1000.0), Action::Join(h)));
+            }
+            let t_measure = SimTime::from_ms((start + interval_s) * 1000.0);
+            actions.push((t_measure, Action::Measure));
+        }
+        let end = SimTime::from_ms((batches as f64 * interval_s + 1.0) * 1000.0);
+        Self::finish(actions, end)
+    }
+
+    /// Convert a fraction of the leave actions into ungraceful crashes
+    /// (deterministically, by seed). `frac` in `[0, 1]`.
+    pub fn with_crashes(mut self, frac: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&frac));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0063_7261_7368);
+        for (_, a) in self.actions.iter_mut() {
+            if let Action::Leave(h) = *a {
+                if rng.gen::<f64>() < frac {
+                    *a = Action::Crash(h);
+                }
+            }
+        }
+        self
+    }
+
+    /// Number of crash actions.
+    pub fn num_crashes(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::Crash(_)))
+            .count()
+    }
+
+    fn finish(mut actions: Vec<(SimTime, Action)>, end: SimTime) -> Self {
+        // Stable sort keeps leave-before-join ordering at equal times.
+        actions.sort_by_key(|(t, _)| *t);
+        Self { actions, end }
+    }
+
+    /// Number of join actions.
+    pub fn num_joins(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::Join(_)))
+            .count()
+    }
+
+    /// Number of leave actions.
+    pub fn num_leaves(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::Leave(_)))
+            .count()
+    }
+
+    /// Number of measurement points.
+    pub fn num_measures(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::Measure))
+            .count()
+    }
+}
+
+fn shuffle(v: &mut [HostId], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (1..=n).map(HostId).collect()
+    }
+
+    #[test]
+    fn churn_counts_and_membership() {
+        let cfg = ChurnConfig {
+            members: 20,
+            warmup_s: 100.0,
+            slot_s: 50.0,
+            slots: 5,
+            churn_pct: 10.0,
+        };
+        let sc = Scenario::churn(&cfg, &hosts(40), 1);
+        // 20 initial joins + 2 per slot; 2 leaves per slot.
+        assert_eq!(sc.num_joins(), 20 + 2 * 5);
+        assert_eq!(sc.num_leaves(), 2 * 5);
+        assert_eq!(sc.num_measures(), 6);
+        // Replay membership: a host never leaves unless in, never joins
+        // while in.
+        let mut inside = std::collections::HashSet::new();
+        for (_, a) in &sc.actions {
+            match a {
+                Action::Join(h) => assert!(inside.insert(*h), "double join {h}"),
+                Action::Leave(h) | Action::Crash(h) => {
+                    assert!(inside.remove(h), "phantom leave {h}")
+                }
+                Action::Measure => {}
+            }
+        }
+        assert_eq!(inside.len(), 20);
+        // Time-ordered.
+        for w in sc.actions.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(sc.end >= sc.actions.last().unwrap().0);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let cfg = ChurnConfig {
+            members: 10,
+            warmup_s: 10.0,
+            slot_s: 10.0,
+            slots: 3,
+            churn_pct: 20.0,
+        };
+        let a = Scenario::churn(&cfg, &hosts(30), 7);
+        let b = Scenario::churn(&cfg, &hosts(30), 7);
+        assert_eq!(a.actions, b.actions);
+        let c = Scenario::churn(&cfg, &hosts(30), 8);
+        assert_ne!(a.actions, c.actions);
+    }
+
+    #[test]
+    fn zero_churn_has_no_leaves() {
+        let cfg = ChurnConfig {
+            members: 10,
+            warmup_s: 10.0,
+            slot_s: 10.0,
+            slots: 4,
+            churn_pct: 0.0,
+        };
+        let sc = Scenario::churn(&cfg, &hosts(10), 3);
+        assert_eq!(sc.num_leaves(), 0);
+        assert_eq!(sc.num_joins(), 10);
+        assert_eq!(sc.num_measures(), 5);
+    }
+
+    #[test]
+    fn growth_scenario_shape() {
+        let sc = Scenario::growth(50, 10, 500.0, &hosts(500), 2);
+        assert_eq!(sc.num_joins(), 500);
+        assert_eq!(sc.num_leaves(), 0);
+        assert_eq!(sc.num_measures(), 10);
+        // Measures come after the joins of their batch.
+        let mut joins_seen = 0;
+        let mut measures_seen = 0;
+        for (_, a) in &sc.actions {
+            match a {
+                Action::Join(_) => joins_seen += 1,
+                Action::Measure => {
+                    measures_seen += 1;
+                    assert!(joins_seen >= measures_seen * 50);
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Run statistics and measurement records.
+
+use std::fmt;
+
+/// Mean/min/max summary of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Summary {
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarize an iterator of samples.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut count = 0usize;
+        for v in values {
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+            count += 1;
+        }
+        if count == 0 {
+            Self::default()
+        } else {
+            Self {
+                mean: sum / count as f64,
+                min,
+                max,
+                count,
+            }
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.3} (min {:.3}, max {:.3}, n={})",
+            self.mean, self.min, self.max, self.count
+        )
+    }
+}
+
+/// One measurement slot's worth of metrics (a point on the paper's
+/// figures).
+#[derive(Clone, Debug, Default)]
+pub struct SlotMeasurement {
+    /// Simulated time of the measurement, seconds.
+    pub time_s: f64,
+    /// Members in session.
+    pub members: usize,
+    /// Members with a parent (the rest are mid-join).
+    pub connected: usize,
+    /// Per-used-physical-link stress (routed underlays only; Eq. 3.4).
+    pub stress: Option<Summary>,
+    /// Per-receiver stretch (Eq. 3.5).
+    pub stretch: Summary,
+    /// Mean stretch over leaf members only (§5.4.3 shows this series).
+    pub stretch_leaf_mean: f64,
+    /// Per-receiver overlay hop count to the source (§5.3).
+    pub hopcount: Summary,
+    /// Mean hop count over leaf members only.
+    pub hopcount_leaf_mean: f64,
+    /// Sum of one-way latencies of the overlay links in use, ms (§5.3
+    /// "network usage").
+    pub usage_ms: f64,
+    /// `usage_ms` normalized by the unicast star's usage.
+    pub usage_normalized: f64,
+    /// Slot loss rate: 1 - received/expected over the slot (Eq. 3.7).
+    pub loss_rate: f64,
+    /// Slot overhead: control messages / data messages sent (Eq. 3.6).
+    pub overhead: f64,
+    /// Slot overhead with the source's emitted chunk count as the
+    /// denominator (the §5.4.2 PlanetLab variant of the metric).
+    pub overhead_per_chunk: f64,
+    /// Tree cost / MST cost over the same peers (§5.4.6), when computed.
+    pub mst_ratio: Option<f64>,
+    /// Structural errors found at this measurement (should be 0).
+    pub tree_errors: usize,
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Seconds from each join command to the established connection
+    /// (§5.3 startup time).
+    pub startup_s: Vec<f64>,
+    /// Seconds from each orphaning to re-established connection (§5.3
+    /// reconnection time).
+    pub reconnection_s: Vec<f64>,
+    /// Stream chunks emitted by the source.
+    pub source_chunks: u64,
+    /// Per-host chunks that should have been received (lifetime-based,
+    /// Eq. 3.7 denominator).
+    pub expected: Vec<u64>,
+    /// Per-host chunks actually received (watermark-accepted).
+    pub received: Vec<u64>,
+    /// Join walks that had to restart (timeouts, rejections, departures
+    /// mid-walk).
+    pub walk_restarts: u64,
+    /// Completed (re)connections.
+    pub join_completions: u64,
+    /// Connection requests rejected by targets.
+    pub rejected_conns: u64,
+    /// Measurements taken during the run.
+    pub measurements: Vec<SlotMeasurement>,
+}
+
+impl RunStats {
+    /// New stats block for `num_hosts` hosts.
+    pub fn new(num_hosts: usize) -> Self {
+        Self {
+            expected: vec![0; num_hosts],
+            received: vec![0; num_hosts],
+            ..Self::default()
+        }
+    }
+
+    /// Whole-run loss rate, Eq. 3.7.
+    pub fn overall_loss(&self) -> f64 {
+        let exp: u64 = self.expected.iter().sum();
+        let rcv: u64 = self.received.iter().sum();
+        if exp == 0 {
+            0.0
+        } else {
+            1.0 - rcv as f64 / exp as f64
+        }
+    }
+
+    /// Mean of a per-slot metric over the last `n` measurements (the
+    /// paper reports steady-state values).
+    pub fn tail_mean(&self, n: usize, metric: impl Fn(&SlotMeasurement) -> f64) -> f64 {
+        let slots = &self.measurements;
+        let take = n.min(slots.len());
+        if take == 0 {
+            return 0.0;
+        }
+        slots[slots.len() - take..].iter().map(metric).sum::<f64>() / take as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of([1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.count, 3);
+        let e = Summary::of(std::iter::empty());
+        assert_eq!(e, Summary::default());
+        assert!(format!("{s}").contains("mean 2.000"));
+    }
+
+    #[test]
+    fn overall_loss() {
+        let mut rs = RunStats::new(3);
+        rs.expected = vec![100, 50, 0];
+        rs.received = vec![90, 45, 0];
+        assert!((rs.overall_loss() - 0.1).abs() < 1e-9);
+        let empty = RunStats::new(2);
+        assert_eq!(empty.overall_loss(), 0.0);
+    }
+
+    #[test]
+    fn tail_mean() {
+        let mut rs = RunStats::new(1);
+        for i in 0..5 {
+            rs.measurements.push(SlotMeasurement {
+                loss_rate: i as f64,
+                ..SlotMeasurement::default()
+            });
+        }
+        assert_eq!(rs.tail_mean(2, |m| m.loss_rate), 3.5);
+        assert_eq!(rs.tail_mean(100, |m| m.loss_rate), 2.0);
+        assert_eq!(RunStats::new(1).tail_mean(3, |m| m.loss_rate), 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Global tree snapshots and structural validation.
+//!
+//! The driver periodically freezes the distributed state into a
+//! [`TreeSnapshot`] (who is whose parent right now) and the metrics
+//! module evaluates the paper's measures over it. Validation catches
+//! protocol bugs — cycles, degree violations, phantom parents — in tests
+//! and (cheaply) at every measurement.
+
+use vdm_netsim::HostId;
+
+/// A frozen view of the overlay tree.
+#[derive(Clone, Debug)]
+pub struct TreeSnapshot {
+    /// The stream source (tree root).
+    pub source: HostId,
+    /// Members that are currently in the session, source excluded.
+    pub members: Vec<HostId>,
+    /// `parent[h.idx()]` = parent of host `h` (None for the source,
+    /// non-members, and members that are mid-(re)join).
+    pub parent: Vec<Option<HostId>>,
+}
+
+/// A structural problem found by [`TreeSnapshot::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeError {
+    /// A member's parent chain does not reach the source (broken or
+    /// cyclic).
+    Unrooted(HostId),
+    /// A parent pointer refers to a non-member that is not the source.
+    PhantomParent {
+        /// The child with the bad pointer.
+        child: HostId,
+        /// The non-member parent.
+        parent: HostId,
+    },
+    /// A node has more children than its degree limit allows.
+    DegreeExceeded {
+        /// The overloaded node.
+        node: HostId,
+        /// Its child count.
+        children: usize,
+        /// Its limit.
+        limit: u32,
+    },
+}
+
+impl TreeSnapshot {
+    /// Parent of `h`, if any.
+    pub fn parent_of(&self, h: HostId) -> Option<HostId> {
+        self.parent.get(h.idx()).copied().flatten()
+    }
+
+    /// Members that currently have a parent (connected members).
+    pub fn connected_members(&self) -> Vec<HostId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| self.parent_of(m).is_some())
+            .collect()
+    }
+
+    /// Tree edges `(parent, child)` over connected members.
+    pub fn edges(&self) -> Vec<(HostId, HostId)> {
+        self.members
+            .iter()
+            .filter_map(|&m| self.parent_of(m).map(|p| (p, m)))
+            .collect()
+    }
+
+    /// Children lists keyed by host index (source included).
+    pub fn children(&self) -> Vec<Vec<HostId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (p, c) in self.edges() {
+            ch[p.idx()].push(c);
+        }
+        ch
+    }
+
+    /// Hop depth of every connected member (source = 0); `None` for
+    /// members whose chain does not reach the source.
+    pub fn depths(&self) -> Vec<Option<usize>> {
+        let n = self.parent.len();
+        let mut depth: Vec<Option<usize>> = vec![None; n];
+        depth[self.source.idx()] = Some(0);
+        for &m in &self.members {
+            if depth[m.idx()].is_some() {
+                continue;
+            }
+            // Walk up collecting the chain until a known depth, the
+            // source, a dead end, or a length bound (cycle).
+            let mut chain = vec![m];
+            let mut cur = m;
+            let base = loop {
+                match self.parent_of(cur) {
+                    Some(p) if p == self.source => break Some(0),
+                    Some(p) => {
+                        if let Some(d) = depth[p.idx()] {
+                            break Some(d);
+                        }
+                        if chain.len() > n {
+                            break None; // cycle
+                        }
+                        chain.push(p);
+                        cur = p;
+                    }
+                    None => break None,
+                }
+            };
+            if let Some(base) = base {
+                for (i, &node) in chain.iter().rev().enumerate() {
+                    depth[node.idx()] = Some(base + i + 1);
+                }
+            }
+        }
+        depth
+    }
+
+    /// Path from `h` up to the source (inclusive of both), or `None` if
+    /// the chain is broken or cyclic.
+    pub fn root_path(&self, h: HostId) -> Option<Vec<HostId>> {
+        let mut path = vec![h];
+        let mut cur = h;
+        while cur != self.source {
+            cur = self.parent_of(cur)?;
+            path.push(cur);
+            if path.len() > self.parent.len() {
+                return None;
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Check structure. `limits[h.idx()]` = degree limit of host `h`
+    /// (pass an empty slice to skip degree checks). Only *connected*
+    /// members are required to be rooted; a member without a parent is
+    /// mid-join, which is legal.
+    pub fn validate(&self, limits: &[u32]) -> Vec<TreeError> {
+        let mut errors = Vec::new();
+        let is_member = {
+            let mut v = vec![false; self.parent.len()];
+            for &m in &self.members {
+                v[m.idx()] = true;
+            }
+            v
+        };
+        let depths = self.depths();
+        for &m in &self.members {
+            if let Some(p) = self.parent_of(m) {
+                if p != self.source && !is_member[p.idx()] {
+                    errors.push(TreeError::PhantomParent { child: m, parent: p });
+                }
+                if depths[m.idx()].is_none() {
+                    errors.push(TreeError::Unrooted(m));
+                }
+            }
+        }
+        if !limits.is_empty() {
+            let children = self.children();
+            for h in std::iter::once(self.source).chain(self.members.iter().copied()) {
+                let c = children[h.idx()].len();
+                let lim = limits[h.idx()];
+                if c > lim as usize {
+                    errors.push(TreeError::DegreeExceeded {
+                        node: h,
+                        children: c,
+                        limit: lim,
+                    });
+                }
+            }
+        }
+        errors
+    }
+
+    /// Render the tree as Graphviz DOT (used by the sample-tree figures
+    /// 5.5/5.6). `label` customizes per-node labels.
+    pub fn to_dot(&self, label: impl Fn(HostId) -> String) -> String {
+        let mut out = String::from("digraph overlay {\n  rankdir=TB;\n");
+        out.push_str(&format!(
+            "  \"{}\" [shape=doublecircle];\n",
+            label(self.source)
+        ));
+        for (p, c) in self.edges() {
+            out.push_str(&format!("  \"{}\" -> \"{}\";\n", label(p), label(c)));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render as an indented ASCII tree.
+    pub fn to_ascii(&self, label: impl Fn(HostId) -> String) -> String {
+        let children = self.children();
+        let mut out = String::new();
+        let mut stack = vec![(self.source, 0usize)];
+        while let Some((node, depth)) = stack.pop() {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&label(node));
+            out.push('\n');
+            let mut kids = children[node.idx()].clone();
+            kids.sort();
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// source 0 -> 1 -> {2, 3}; member 4 is mid-join (no parent).
+    fn sample() -> TreeSnapshot {
+        TreeSnapshot {
+            source: HostId(0),
+            members: vec![HostId(1), HostId(2), HostId(3), HostId(4)],
+            parent: vec![None, Some(HostId(0)), Some(HostId(1)), Some(HostId(1)), None],
+        }
+    }
+
+    #[test]
+    fn depths_and_paths() {
+        let t = sample();
+        let d = t.depths();
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], Some(2));
+        assert_eq!(d[4], None);
+        assert_eq!(
+            t.root_path(HostId(2)).unwrap(),
+            vec![HostId(0), HostId(1), HostId(2)]
+        );
+        assert!(t.root_path(HostId(4)).is_none());
+        assert_eq!(t.connected_members().len(), 3);
+        assert_eq!(t.edges().len(), 3);
+    }
+
+    #[test]
+    fn valid_tree_passes() {
+        let t = sample();
+        assert!(t.validate(&[3, 2, 1, 1, 1]).is_empty());
+    }
+
+    #[test]
+    fn degree_violation_detected() {
+        let t = sample();
+        let errs = t.validate(&[3, 1, 1, 1, 1]); // node 1 has 2 children, limit 1
+        assert_eq!(
+            errs,
+            vec![TreeError::DegreeExceeded {
+                node: HostId(1),
+                children: 2,
+                limit: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut t = sample();
+        // 2 -> 3 -> 2 cycle, detached from the source.
+        t.parent[2] = Some(HostId(3));
+        t.parent[3] = Some(HostId(2));
+        let errs = t.validate(&[]);
+        assert!(errs.contains(&TreeError::Unrooted(HostId(2))));
+        assert!(errs.contains(&TreeError::Unrooted(HostId(3))));
+        assert_eq!(t.depths()[2], None);
+    }
+
+    #[test]
+    fn phantom_parent_detected() {
+        let mut t = sample();
+        t.parent[2] = Some(HostId(9));
+        t.parent.resize(10, None);
+        let errs = t.validate(&[]);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TreeError::PhantomParent { child, .. } if *child == HostId(2))));
+    }
+
+    #[test]
+    fn renderings_contain_all_edges() {
+        let t = sample();
+        let dot = t.to_dot(|h| format!("{h}"));
+        assert!(dot.contains("\"h0\" -> \"h1\""));
+        assert!(dot.contains("\"h1\" -> \"h3\""));
+        let ascii = t.to_ascii(|h| format!("{h}"));
+        assert_eq!(ascii.lines().count(), 4); // h4 is disconnected
+        assert!(ascii.starts_with("h0\n"));
+    }
+}

@@ -1,0 +1,568 @@
+//! The iterative top-down join walk shared by VDM and HMTP.
+//!
+//! Both protocols join the same way mechanically (§3.2, §2.4.7): starting
+//! at the source, the newcomer sends an information request to the
+//! current node, pings the reported children, and then decides — per its
+//! own policy — whether to descend into a child, or to attach here
+//! (possibly splicing between the current node and some of its children,
+//! VDM's Case II). This module owns that mechanics: probe rounds,
+//! timeouts, retries, redirects on full targets, and restart at the
+//! fallback node; the protocol supplies a [`WalkPolicy`].
+
+use crate::agent::Ctx;
+use crate::msg::{ChildEntry, ConnKind, ConnResult, Msg};
+use crate::VDist;
+use vdm_netsim::{HostId, SimTime};
+
+/// One probed child of the current node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChildProbe {
+    /// The child.
+    pub child: HostId,
+    /// The current node's stored virtual distance to this child (from
+    /// the information response).
+    pub d_parent_child: VDist,
+    /// The walker's measured virtual distance to this child.
+    pub d_new_child: VDist,
+}
+
+/// Everything the policy sees about one walk iteration.
+#[derive(Clone, Debug)]
+pub struct ProbeResult {
+    /// The node being examined.
+    pub current: HostId,
+    /// The walker's measured virtual distance to `current`.
+    pub d_current: VDist,
+    /// Probed children (walker itself excluded; children that did not
+    /// answer in time excluded).
+    pub children: Vec<ChildProbe>,
+    /// 0-based iteration of this walk (0 = the start node). Policies
+    /// whose refinement is single-level (HMTP probes one root-path
+    /// node, §2.4.7) use this to stop descending.
+    pub iteration: usize,
+}
+
+/// The policy's verdict for one iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalkStep {
+    /// Continue the walk at this child (VDM Case III, HMTP "closer
+    /// child").
+    Descend(HostId),
+    /// Attach to the current node. `splice` lists children of the
+    /// current node to adopt (VDM Case II), closest-first; empty for a
+    /// plain connection (Case I).
+    Attach {
+        /// Children of the current node to adopt.
+        splice: Vec<HostId>,
+    },
+}
+
+/// A protocol's join behaviour: how to turn raw measurements into
+/// virtual distances (Chapter 4's generalization) and which step to take
+/// given a probe round.
+pub trait WalkPolicy {
+    /// Virtual distance from a measured RTT (ms) and estimated path loss
+    /// probability. Delay-based protocols ignore `loss_est`.
+    fn vdist(&self, rtt_ms: f64, loss_est: f64) -> VDist;
+
+    /// Whether [`WalkPolicy::vdist`] needs a loss estimate (triggers
+    /// loss probing during the walk).
+    fn needs_loss(&self) -> bool {
+        false
+    }
+
+    /// Decide the next step. `purpose` lets protocols whose initial
+    /// join differs from their optimization pass (e.g. BTP: join at the
+    /// root, improve via switches) branch on why the walk runs.
+    fn decide(&self, probe: &ProbeResult, purpose: WalkPurpose) -> WalkStep;
+
+    /// Whether a refinement walk may only switch parents when the new
+    /// parent is strictly closer than the current one (HMTP/BTP switch
+    /// on improvement; VDM's §3.4 refinement switches whenever the
+    /// re-join lands elsewhere).
+    fn refine_requires_improvement(&self) -> bool {
+        false
+    }
+
+    /// Where a periodic refinement walk should start. Default: the
+    /// source (VDM §3.4); HMTP picks a random node on its root path.
+    fn refine_start(
+        &self,
+        state: &crate::peer::PeerState,
+        source: HostId,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> HostId {
+        let _ = state;
+        source
+    }
+}
+
+/// Why the walk is running; determines timing stats and the start node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkPurpose {
+    /// First join of this incarnation (startup time).
+    Join,
+    /// Recovery after the parent left (reconnection time, §3.3).
+    Reconnect,
+    /// Periodic refinement (§3.4); does not disturb the current
+    /// connection until a better parent accepts.
+    Refine,
+}
+
+/// Final result of a walk, handed back to the agent.
+#[derive(Clone, Debug)]
+pub enum WalkOutcome {
+    /// A parent accepted us.
+    Connected {
+        /// The new parent.
+        parent: HostId,
+        /// Our new grandparent (the parent's parent).
+        grandparent: Option<HostId>,
+        /// Parent's root path (empty unless the protocol maintains
+        /// root paths).
+        root_path: Vec<HostId>,
+        /// Children adopted through a splice, with our measured
+        /// distances to them.
+        adopted: Vec<(HostId, VDist)>,
+        /// Our measured virtual distance to the parent.
+        vdist_to_parent: VDist,
+    },
+    /// Restarts exhausted; the agent should retry later.
+    Failed,
+}
+
+#[allow(clippy::enum_variant_names)] // the phases genuinely all await something
+enum Phase {
+    AwaitInfo {
+        sent_at: SimTime,
+        retries: u32,
+    },
+    AwaitProbes {
+        d_current: VDist,
+        /// Stored parent->child distances from the info response.
+        reported: Vec<ChildEntry>,
+        /// Outstanding pings: (nonce, child, sent_at).
+        pending: Vec<(u64, HostId, SimTime)>,
+        results: Vec<ChildProbe>,
+    },
+    AwaitConn {
+        target: HostId,
+        vdist: VDist,
+        /// Requested splice children with our distances to them.
+        splice: Vec<(HostId, VDist)>,
+        /// Distances to the current node's probed children, for
+        /// redirect handling.
+        probed: Vec<(HostId, VDist)>,
+    },
+}
+
+/// Tunables of the walk mechanics.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Deadline for each probe/connect round.
+    pub timeout: SimTime,
+    /// Info-request retries per node before restarting the walk.
+    pub info_retries: u32,
+    /// Walk restarts (from the fallback node) before giving up.
+    pub max_restarts: u32,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            timeout: SimTime::from_ms(2_000.0),
+            info_retries: 1,
+            max_restarts: 4,
+        }
+    }
+}
+
+/// Timer-token namespace bit for walk deadlines (the agent routes these
+/// tokens back into [`Walk::on_timer`]).
+pub const WALK_TOKEN_BIT: u64 = 1 << 62;
+
+/// The walk state machine. One instance per in-progress (re)join or
+/// refinement.
+pub struct Walk {
+    /// Why we are walking.
+    pub purpose: WalkPurpose,
+    /// When the walk was triggered (join command / orphaning).
+    pub started_at: SimTime,
+    current: HostId,
+    fallback: HostId,
+    restarts: u32,
+    cfg: WalkConfig,
+    /// Monotone generation; stale timers/replies carry older values.
+    generation: u64,
+    /// Completed probe rounds in the current attempt.
+    iteration: usize,
+    /// Distance to the current parent (refinement baseline), if known.
+    refine_baseline: Option<VDist>,
+    phase: Phase,
+}
+
+impl Walk {
+    /// Start a walk at `start`, falling back to `fallback` (the source)
+    /// on trouble. Sends the first info request immediately.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        purpose: WalkPurpose,
+        start: HostId,
+        fallback: HostId,
+        started_at: SimTime,
+        cfg: WalkConfig,
+        gen_base: u64,
+        refine_baseline: Option<VDist>,
+        ctx: &mut Ctx<'_>,
+    ) -> Self {
+        let mut w = Self {
+            purpose,
+            started_at,
+            current: start,
+            fallback,
+            restarts: 0,
+            cfg,
+            generation: gen_base,
+            iteration: 0,
+            refine_baseline,
+            phase: Phase::AwaitInfo {
+                sent_at: SimTime::ZERO,
+                retries: 0,
+            },
+        };
+        w.begin_info(ctx);
+        w
+    }
+
+    /// The node currently being examined.
+    pub fn current(&self) -> HostId {
+        self.current
+    }
+
+    /// Number of restarts so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Current walk generation (also the nonce of in-flight requests).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn arm_deadline(&self, ctx: &mut Ctx<'_>) {
+        ctx.timer(self.cfg.timeout, WALK_TOKEN_BIT | self.generation);
+    }
+
+    fn begin_info(&mut self, ctx: &mut Ctx<'_>) {
+        let nonce = self.bump();
+        // A fresh node always starts with a fresh retry budget (the
+        // timer path manages its own count).
+        self.phase = Phase::AwaitInfo {
+            sent_at: ctx.now(),
+            retries: 0,
+        };
+        if self.current == ctx.me {
+            // Degenerate: walking to ourselves (e.g. stale grandparent
+            // pointer). Restart from the fallback instead.
+            self.current = self.fallback;
+        }
+        ctx.send(self.current, Msg::InfoReq { nonce });
+        self.arm_deadline(ctx);
+    }
+
+    fn restart(&mut self, ctx: &mut Ctx<'_>) -> Option<WalkOutcome> {
+        self.restarts += 1;
+        ctx.stats.walk_restarts += 1;
+        if self.restarts > self.cfg.max_restarts {
+            return Some(WalkOutcome::Failed);
+        }
+        self.current = self.fallback;
+        self.iteration = 0;
+        self.phase = Phase::AwaitInfo {
+            sent_at: ctx.now(),
+            retries: 0,
+        };
+        self.begin_info(ctx);
+        None
+    }
+
+    /// Feed a message to the walk. Returns an outcome when it finishes.
+    pub fn on_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        msg: &Msg,
+        policy: &dyn WalkPolicy,
+        free_degree: u32,
+    ) -> Option<WalkOutcome> {
+        match (&mut self.phase, msg) {
+            (Phase::AwaitInfo { sent_at, .. }, Msg::InfoResp { nonce, children, .. })
+                if *nonce == self.generation && from == self.current =>
+            {
+                let rtt = (ctx.now() - *sent_at).as_ms();
+                let loss = if policy.needs_loss() {
+                    ctx.estimate_loss(self.current)
+                } else {
+                    0.0
+                };
+                let d_current = policy.vdist(rtt, loss);
+                // Probe every reported child except ourselves.
+                let reported: Vec<ChildEntry> = children
+                    .iter()
+                    .copied()
+                    .filter(|e| e.child != ctx.me)
+                    .collect();
+                if reported.is_empty() {
+                    return self.decide(ctx, d_current, Vec::new(), policy, free_degree);
+                }
+                let mut pending = Vec::with_capacity(reported.len());
+                for e in &reported {
+                    let nonce = self.bump();
+                    pending.push((nonce, e.child, ctx.now()));
+                    ctx.send(e.child, Msg::Ping { nonce });
+                }
+                self.phase = Phase::AwaitProbes {
+                    d_current,
+                    reported,
+                    pending,
+                    results: Vec::new(),
+                };
+                self.arm_deadline(ctx);
+                None
+            }
+            (
+                Phase::AwaitProbes {
+                    d_current,
+                    reported,
+                    pending,
+                    results,
+                },
+                Msg::Pong { nonce },
+            ) => {
+                let Some(pos) = pending
+                    .iter()
+                    .position(|(n, c, _)| *n == *nonce && *c == from)
+                else {
+                    return None; // stale pong
+                };
+                let (_, child, sent_at) = pending.swap_remove(pos);
+                let rtt = (ctx.now() - sent_at).as_ms();
+                let loss = if policy.needs_loss() {
+                    ctx.estimate_loss(child)
+                } else {
+                    0.0
+                };
+                let d_parent_child = reported
+                    .iter()
+                    .find(|e| e.child == child)
+                    .map(|e| e.vdist)
+                    .unwrap_or(VDist::INFINITY);
+                results.push(ChildProbe {
+                    child,
+                    d_parent_child,
+                    d_new_child: policy.vdist(rtt, loss),
+                });
+                if pending.is_empty() {
+                    let d = *d_current;
+                    let res = std::mem::take(results);
+                    return self.decide(ctx, d, res, policy, free_degree);
+                }
+                None
+            }
+            (Phase::AwaitConn { target, probed, .. }, Msg::ConnResp { nonce, result })
+                if *nonce == self.generation && from == *target =>
+            {
+                match result {
+                    ConnResult::Accepted {
+                        grandparent,
+                        adopted,
+                        root_path,
+                    } => {
+                        let (vdist, splice) = match &self.phase {
+                            Phase::AwaitConn { vdist, splice, .. } => (*vdist, splice.clone()),
+                            _ => unreachable!(),
+                        };
+                        let adopted_with_dist = adopted
+                            .iter()
+                            .filter_map(|&c| {
+                                splice
+                                    .iter()
+                                    .find(|(h, _)| *h == c)
+                                    .map(|&(h, d)| (h, d))
+                            })
+                            .collect();
+                        ctx.stats.join_completions += 1;
+                        Some(WalkOutcome::Connected {
+                            parent: from,
+                            grandparent: *grandparent,
+                            root_path: root_path.clone(),
+                            adopted: adopted_with_dist,
+                            vdist_to_parent: vdist,
+                        })
+                    }
+                    ConnResult::Redirect { next } => {
+                        let next = *next;
+                        if next == ctx.me {
+                            return self.restart(ctx);
+                        }
+                        // Connect directly if we probed the redirect
+                        // target this round; otherwise walk from it.
+                        if let Some(&(_, d)) = probed.iter().find(|(h, _)| *h == next) {
+                            let nonce = self.bump();
+                            self.phase = Phase::AwaitConn {
+                                target: next,
+                                vdist: d,
+                                splice: Vec::new(),
+                                probed: Vec::new(),
+                            };
+                            ctx.send(
+                                next,
+                                Msg::ConnReq {
+                                    nonce,
+                                    kind: ConnKind::Child,
+                                    vdist: d,
+                                },
+                            );
+                            self.arm_deadline(ctx);
+                        } else {
+                            self.current = next;
+                            self.begin_info(ctx);
+                        }
+                        None
+                    }
+                    ConnResult::Rejected => {
+                        ctx.stats.rejected_conns += 1;
+                        self.restart(ctx)
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Feed a deadline timer. Returns an outcome when the walk dies.
+    pub fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        token: u64,
+        policy: &dyn WalkPolicy,
+        free_degree: u32,
+    ) -> Option<WalkOutcome> {
+        if token & WALK_TOKEN_BIT == 0 || (token & !WALK_TOKEN_BIT) != self.generation {
+            return None; // stale deadline from an earlier phase
+        }
+        match &mut self.phase {
+            Phase::AwaitInfo { retries, .. } => {
+                if *retries < self.cfg.info_retries {
+                    let r = *retries + 1;
+                    let nonce = self.bump();
+                    self.phase = Phase::AwaitInfo {
+                        sent_at: ctx.now(),
+                        retries: r,
+                    };
+                    ctx.send(self.current, Msg::InfoReq { nonce });
+                    self.arm_deadline(ctx);
+                    None
+                } else {
+                    self.restart(ctx)
+                }
+            }
+            Phase::AwaitProbes {
+                d_current, results, ..
+            } => {
+                // Children that answered are enough; the silent ones are
+                // treated as gone.
+                let d = *d_current;
+                let res = std::mem::take(results);
+                self.decide(ctx, d, res, policy, free_degree)
+            }
+            Phase::AwaitConn { .. } => self.restart(ctx),
+        }
+    }
+
+    /// Run the policy over a completed probe round and act on it.
+    fn decide(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        d_current: VDist,
+        children: Vec<ChildProbe>,
+        policy: &dyn WalkPolicy,
+        free_degree: u32,
+    ) -> Option<WalkOutcome> {
+        let probe = ProbeResult {
+            current: self.current,
+            d_current,
+            children,
+            iteration: self.iteration,
+        };
+        self.iteration += 1;
+        let purpose = self.purpose;
+        match policy.decide(&probe, purpose) {
+            WalkStep::Descend(next) => {
+                debug_assert!(probe.children.iter().any(|c| c.child == next));
+                self.current = next;
+                self.begin_info(ctx);
+                None
+            }
+            WalkStep::Attach { mut splice } => {
+                // Improvement-gated refinement (HMTP/BTP): abandon the
+                // pass unless the candidate parent is strictly closer
+                // than the current one.
+                if purpose == WalkPurpose::Refine && policy.refine_requires_improvement() {
+                    if let Some(baseline) = self.refine_baseline {
+                        if d_current >= baseline {
+                            return Some(WalkOutcome::Failed);
+                        }
+                    }
+                }
+                // Trim the adoption list to our free degree (the paper:
+                // "we make connections as long as the new node allows").
+                splice.truncate(free_degree as usize);
+                let splice_with_dist: Vec<(HostId, VDist)> = splice
+                    .iter()
+                    .filter_map(|&c| {
+                        probe
+                            .children
+                            .iter()
+                            .find(|p| p.child == c)
+                            .map(|p| (c, p.d_new_child))
+                    })
+                    .collect();
+                let probed: Vec<(HostId, VDist)> = probe
+                    .children
+                    .iter()
+                    .map(|p| (p.child, p.d_new_child))
+                    .collect();
+                let kind = if splice_with_dist.is_empty() {
+                    ConnKind::Child
+                } else {
+                    ConnKind::Splice {
+                        displace: splice_with_dist.iter().map(|&(h, _)| h).collect(),
+                    }
+                };
+                let nonce = self.bump();
+                self.phase = Phase::AwaitConn {
+                    target: self.current,
+                    vdist: d_current,
+                    splice: splice_with_dist,
+                    probed,
+                };
+                ctx.send(
+                    self.current,
+                    Msg::ConnReq {
+                        nonce,
+                        kind,
+                        vdist: d_current,
+                    },
+                );
+                self.arm_deadline(ctx);
+                None
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Uplink-capacity-derived degree limits (the paper's §6.2 future
+//! work: "A system is required to measure and determine the degree of
+//! each node in real implementation. This degree depends on outgoing
+//! bandwidth of nodes").
+//!
+//! A node forwarding a `stream_kbps` stream to `d` children needs
+//! `d × stream_kbps` of uplink, so its degree limit is
+//! `floor(uplink / stream)`. Capacities are drawn from a weighted
+//! bucket mix resembling 2011 broadband (the paper's intro: "Average
+//! Internet download speed has jumped to 4.4 Mbps in 2010"; uplinks
+//! lagged far behind).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Uplink capacity distribution and stream rate.
+#[derive(Clone, Debug)]
+pub struct UplinkModel {
+    /// Stream bitrate, kbit/s (the paper's AOL example: 500 kbps).
+    pub stream_kbps: f64,
+    /// `(uplink_kbps, weight)` buckets; capacities are drawn from a
+    /// bucket, then jittered ±20 %.
+    pub buckets: Vec<(f64, f64)>,
+    /// Hard cap on the derived degree (protects the simulation from a
+    /// datacenter node fanning out to everyone).
+    pub max_degree: u32,
+}
+
+impl UplinkModel {
+    /// A 2011-flavoured residential mix around a 500 kbps stream:
+    /// DSL-ish uplinks of 384 k–10 M.
+    pub fn residential_2011() -> Self {
+        Self {
+            stream_kbps: 500.0,
+            buckets: vec![
+                (512.0, 0.25),   // ADSL: barely one child
+                (1_000.0, 0.35), // ADSL2+: two children
+                (2_000.0, 0.20),
+                (5_000.0, 0.15), // FTTx
+                (10_000.0, 0.05),
+            ],
+            max_degree: 12,
+        }
+    }
+
+    /// Degree a given uplink supports (at least 1 — the paper assumes
+    /// "degree limit of each node is at least one"; true free riders
+    /// would need the incentive mechanisms of §2.4.3).
+    pub fn degree_for(&self, uplink_kbps: f64) -> u32 {
+        ((uplink_kbps / self.stream_kbps).floor() as u32)
+            .clamp(1, self.max_degree)
+    }
+
+    /// Draw one node's degree limit.
+    pub fn sample_degree(&self, rng: &mut StdRng) -> u32 {
+        let total: f64 = self.buckets.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut kbps = self.buckets.last().expect("non-empty buckets").0;
+        for &(cap, w) in &self.buckets {
+            if pick < w {
+                kbps = cap;
+                break;
+            }
+            pick -= w;
+        }
+        let jitter = rng.gen_range(0.8..1.2);
+        self.degree_for(kbps * jitter)
+    }
+
+    /// Deterministic per-host degree limits for `n` hosts.
+    pub fn degree_limits(&self, n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0075_706c_696e_6b);
+        (0..n).map(|_| self.sample_degree(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_follows_uplink() {
+        let m = UplinkModel::residential_2011();
+        assert_eq!(m.degree_for(100.0), 1); // can't even feed one; floor at 1
+        assert_eq!(m.degree_for(512.0), 1);
+        assert_eq!(m.degree_for(1_000.0), 2);
+        assert_eq!(m.degree_for(5_200.0), 10);
+        assert_eq!(m.degree_for(1e9), 12); // capped
+    }
+
+    #[test]
+    fn sampled_limits_look_residential() {
+        let m = UplinkModel::residential_2011();
+        let limits = m.degree_limits(4000, 7);
+        assert!(limits.iter().all(|&d| (1..=12).contains(&d)));
+        let mean = limits.iter().sum::<u32>() as f64 / limits.len() as f64;
+        // Mostly 1-4 children with a small high-capacity tail.
+        assert!((1.2..4.5).contains(&mean), "mean degree {mean}");
+        assert!(limits.iter().filter(|&&d| d == 1).count() > 500);
+        assert!(limits.iter().any(|&d| d >= 8));
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = UplinkModel::residential_2011();
+        assert_eq!(m.degree_limits(100, 3), m.degree_limits(100, 3));
+        assert_ne!(m.degree_limits(100, 3), m.degree_limits(100, 4));
+    }
+}

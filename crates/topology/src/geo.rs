@@ -1,0 +1,204 @@
+//! Geographic site pools for the emulated-PlanetLab substrate.
+//!
+//! PlanetLab is unavailable, so Chapter 5 runs on a synthetic pool of
+//! sites scattered over continent-shaped clusters. Latency between two
+//! sites is great-circle distance at fiber speed plus a per-site access
+//! delay; the PlanetLab crate layers lognormal inflation (routing detours
+//! — this is what breaks the triangle inequality, like the real Internet)
+//! and per-probe jitter on top.
+
+use crate::Millis;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A point on the globe in degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude, degrees, positive north.
+    pub lat: f64,
+    /// Longitude, degrees, positive east.
+    pub lon: f64,
+}
+
+/// Mean Earth radius in km.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Signal propagation speed in fiber, km per millisecond (about 2/3 c).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Great-circle distance between two points, km (haversine formula).
+pub fn great_circle_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (la1, lo1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (la2, lo2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = la2 - la1;
+    let dlon = lo2 - lo1;
+    let h = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Minimum possible round-trip time between two points over fiber, ms.
+pub fn base_rtt_ms(a: GeoPoint, b: GeoPoint) -> Millis {
+    2.0 * great_circle_km(a, b) / FIBER_KM_PER_MS
+}
+
+/// A rectangular region sites can be drawn from, with a sampling weight.
+#[derive(Clone, Copy, Debug)]
+pub struct Region {
+    /// Human-readable name ("US-East", "Europe", ...).
+    pub name: &'static str,
+    /// Latitude range, degrees.
+    pub lat: (f64, f64),
+    /// Longitude range, degrees.
+    pub lon: (f64, f64),
+    /// Relative share of sites placed in this region.
+    pub weight: f64,
+}
+
+/// Continent presets resembling the PlanetLab footprint of Fig. 5.1
+/// (North-America-heavy, then Europe, then Asia).
+pub fn planetlab_regions() -> Vec<Region> {
+    vec![
+        Region { name: "US-East", lat: (32.0, 45.0), lon: (-85.0, -70.0), weight: 0.22 },
+        Region { name: "US-Central", lat: (30.0, 45.0), lon: (-105.0, -88.0), weight: 0.14 },
+        Region { name: "US-West", lat: (33.0, 48.0), lon: (-124.0, -110.0), weight: 0.16 },
+        Region { name: "Europe", lat: (40.0, 58.0), lon: (-8.0, 22.0), weight: 0.26 },
+        Region { name: "East-Asia", lat: (22.0, 42.0), lon: (110.0, 140.0), weight: 0.14 },
+        Region { name: "South-America", lat: (-32.0, -5.0), lon: (-70.0, -40.0), weight: 0.04 },
+        Region { name: "Oceania", lat: (-40.0, -28.0), lon: (142.0, 154.0), weight: 0.04 },
+    ]
+}
+
+/// US-only regions (the paper's §5.4.2 comparison uses "nodes only in the
+/// United States" drawn from a pool of about 140 working nodes).
+pub fn us_regions() -> Vec<Region> {
+    vec![
+        Region { name: "US-East", lat: (32.0, 45.0), lon: (-85.0, -70.0), weight: 0.40 },
+        Region { name: "US-Central", lat: (30.0, 45.0), lon: (-105.0, -88.0), weight: 0.28 },
+        Region { name: "US-West", lat: (33.0, 48.0), lon: (-124.0, -110.0), weight: 0.32 },
+    ]
+}
+
+/// A generated site.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Location on the globe.
+    pub point: GeoPoint,
+    /// Region the site was drawn from (index into the region list).
+    pub region: usize,
+    /// Extra fixed access delay of this site's uplink, ms (added to every
+    /// RTT involving the site, once per endpoint).
+    pub access_ms: Millis,
+}
+
+/// Deterministically draw `count` sites from weighted `regions`.
+pub fn sample_sites(regions: &[Region], count: usize, seed: u64) -> Vec<Site> {
+    assert!(!regions.is_empty());
+    let total_w: f64 = regions.iter().map(|r| r.weight).sum();
+    assert!(total_w > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0067_656f);
+    (0..count)
+        .map(|_| {
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut region = regions.len() - 1;
+            for (i, r) in regions.iter().enumerate() {
+                if pick < r.weight {
+                    region = i;
+                    break;
+                }
+                pick -= r.weight;
+            }
+            let r = &regions[region];
+            Site {
+                point: GeoPoint {
+                    lat: rng.gen_range(r.lat.0..r.lat.1),
+                    lon: rng.gen_range(r.lon.0..r.lon.1),
+                },
+                region,
+                access_ms: rng.gen_range(0.5..6.0),
+            }
+        })
+        .collect()
+}
+
+/// Baseline RTT between two sites: fiber-speed great circle plus both
+/// access delays. Inflation/jitter are applied by the latency-space
+/// underlay, not here.
+pub fn site_rtt_ms(a: &Site, b: &Site) -> Millis {
+    base_rtt_ms(a.point, b.point) + a.access_ms + b.access_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distances() {
+        // New York (40.71, -74.01) to Los Angeles (34.05, -118.24): ~3936 km.
+        let ny = GeoPoint { lat: 40.71, lon: -74.01 };
+        let la = GeoPoint { lat: 34.05, lon: -118.24 };
+        let d = great_circle_km(ny, la);
+        assert!((d - 3936.0).abs() < 50.0, "got {d}");
+        // London to Tokyo: ~9560 km.
+        let lon = GeoPoint { lat: 51.5, lon: -0.12 };
+        let tok = GeoPoint { lat: 35.68, lon: 139.69 };
+        let d2 = great_circle_km(lon, tok);
+        assert!((d2 - 9560.0).abs() < 100.0, "got {d2}");
+        // Symmetry and identity.
+        assert_eq!(great_circle_km(ny, la), great_circle_km(la, ny));
+        assert!(great_circle_km(ny, ny) < 1e-9);
+    }
+
+    #[test]
+    fn base_rtt_scales_with_distance() {
+        let ny = GeoPoint { lat: 40.71, lon: -74.01 };
+        let la = GeoPoint { lat: 34.05, lon: -118.24 };
+        let rtt = base_rtt_ms(ny, la);
+        // ~3936 km -> ~39 ms RTT floor; real coast-to-coast RTTs are ~60-70 ms,
+        // the inflation factor in the planetlab crate accounts for the rest.
+        assert!(rtt > 35.0 && rtt < 45.0, "got {rtt}");
+    }
+
+    #[test]
+    fn sites_fall_in_their_regions() {
+        let regions = planetlab_regions();
+        let sites = sample_sites(&regions, 300, 9);
+        assert_eq!(sites.len(), 300);
+        for s in &sites {
+            let r = &regions[s.region];
+            assert!(s.point.lat >= r.lat.0 && s.point.lat <= r.lat.1);
+            assert!(s.point.lon >= r.lon.0 && s.point.lon <= r.lon.1);
+            assert!(s.access_ms >= 0.5 && s.access_ms <= 6.0);
+        }
+        // Weighted sampling: Europe (w=0.26) should get more than Oceania (0.04).
+        let count = |name: &str| {
+            sites
+                .iter()
+                .filter(|s| regions[s.region].name == name)
+                .count()
+        };
+        assert!(count("Europe") > count("Oceania"));
+    }
+
+    #[test]
+    fn us_pool_rtts_are_continental() {
+        let sites = sample_sites(&us_regions(), 140, 4);
+        let mut max_rtt: f64 = 0.0;
+        for i in 0..sites.len() {
+            for j in (i + 1)..sites.len() {
+                max_rtt = max_rtt.max(site_rtt_ms(&sites[i], &sites[j]));
+            }
+        }
+        // Coast-to-coast floor RTT plus access delays stays well under 80 ms.
+        assert!(max_rtt < 80.0, "got {max_rtt}");
+        assert!(max_rtt > 20.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = sample_sites(&planetlab_regions(), 50, 77);
+        let b = sample_sites(&planetlab_regions(), 50, 77);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.region, y.region);
+        }
+    }
+}

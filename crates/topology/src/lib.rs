@@ -1,0 +1,39 @@
+//! Graph models and generators for the VDM overlay-multicast reproduction.
+//!
+//! This crate provides the *underlay* building blocks the paper's evaluation
+//! rests on:
+//!
+//! * [`graph`] — a compact undirected weighted graph with stable edge ids
+//!   (needed for per-link *stress* accounting, Eq. 3.4 of the paper);
+//! * [`transit_stub`] — a GT-ITM-style transit–stub topology generator
+//!   (the paper's NS-2 experiments use a 792-node transit-stub graph);
+//! * [`waxman`] — Waxman / Euclidean random graphs used for sensitivity
+//!   studies;
+//! * [`powerlaw`] — Barabási–Albert preferential-attachment graphs
+//!   (AS-level-Internet-like degree distributions);
+//! * [`geo`] — geographic site pools (continent clusters, great-circle
+//!   latency) that back the emulated-PlanetLab substrate;
+//! * [`spath`] — Dijkstra single-source and all-pairs shortest paths with
+//!   next-hop tables (the simulator routes packets over these, as NS-2 does);
+//! * [`mst`] — Prim minimum spanning trees over arbitrary metrics (the
+//!   paper's §5.4.6 MST-ratio comparison).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod geo;
+pub mod graph;
+pub mod mst;
+pub mod powerlaw;
+pub mod spath;
+pub mod transit_stub;
+pub mod waxman;
+
+pub use graph::{EdgeId, Graph, LinkAttrs, NodeId, NodeKind};
+pub use spath::{Apsp, ShortestPaths};
+
+/// Convenience alias: latency in milliseconds.
+///
+/// All distance-like quantities in this workspace are carried as `f64`
+/// milliseconds; the discrete-event simulator converts to integer
+/// microseconds at its boundary.
+pub type Millis = f64;

@@ -1,0 +1,186 @@
+//! Prim minimum spanning trees over arbitrary metrics.
+//!
+//! §5.4.6 of the paper compares the VDM tree cost against the MST of the
+//! same peer set ("we don't apply degree limitation" there). The metric is
+//! whatever virtual distance the protocol uses, so the MST here runs over
+//! a caller-supplied closure rather than a concrete graph.
+
+use crate::Millis;
+
+/// An MST over `n` points, rooted at point `root`.
+#[derive(Clone, Debug)]
+pub struct Mst {
+    /// `parent[v]` = parent of point `v` in the tree; `None` for the root.
+    pub parent: Vec<Option<usize>>,
+    /// Index of the root point.
+    pub root: usize,
+    /// Sum of edge weights.
+    pub cost: Millis,
+}
+
+impl Mst {
+    /// Children lists derived from the parent array.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (v, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Depth of every node (root = 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut depth = vec![usize::MAX; n];
+        depth[self.root] = 0;
+        // Parent pointers form a tree, so a simple iterative resolution
+        // terminates in O(n * depth).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                if depth[v] == usize::MAX {
+                    if let Some(p) = self.parent[v] {
+                        if depth[p] != usize::MAX {
+                            depth[v] = depth[p] + 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        depth
+    }
+}
+
+/// Prim's algorithm over the complete graph on `n` points with edge
+/// weights given by `metric` (assumed symmetric, non-negative).
+///
+/// `O(n^2)` time, which is the right choice for complete metric graphs.
+///
+/// # Panics
+/// Panics if `n == 0` or `root >= n`.
+pub fn prim(n: usize, root: usize, mut metric: impl FnMut(usize, usize) -> Millis) -> Mst {
+    assert!(n > 0, "empty point set");
+    assert!(root < n);
+    let mut in_tree = vec![false; n];
+    let mut best = vec![Millis::INFINITY; n];
+    let mut best_from = vec![usize::MAX; n];
+    let mut parent = vec![None; n];
+    in_tree[root] = true;
+    for v in 0..n {
+        if v != root {
+            best[v] = metric(root, v);
+            best_from[v] = root;
+        }
+    }
+    let mut cost = 0.0;
+    for _ in 1..n {
+        // Pick the cheapest frontier vertex (ties by index: deterministic).
+        let mut pick = usize::MAX;
+        let mut pick_w = Millis::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best[v] < pick_w {
+                pick = v;
+                pick_w = best[v];
+            }
+        }
+        assert!(pick != usize::MAX, "metric returned infinite distances");
+        in_tree[pick] = true;
+        parent[pick] = Some(best_from[pick]);
+        cost += pick_w;
+        for v in 0..n {
+            if !in_tree[v] {
+                let w = metric(pick, v);
+                if w < best[v] {
+                    best[v] = w;
+                    best_from[v] = pick;
+                }
+            }
+        }
+    }
+    Mst { parent, root, cost }
+}
+
+/// Total weight of an arbitrary spanning tree given as a parent array,
+/// under the same metric (used for the §5.4.6 tree/MST ratio).
+pub fn tree_cost(
+    parent: &[Option<usize>],
+    mut metric: impl FnMut(usize, usize) -> Millis,
+) -> Millis {
+    parent
+        .iter()
+        .enumerate()
+        .filter_map(|(v, p)| p.map(|p| metric(p, v)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four points on a line at 0, 1, 2, 10.
+    fn line_metric(a: usize, b: usize) -> Millis {
+        let pos = [0.0_f64, 1.0, 2.0, 10.0];
+        (pos[a] - pos[b]).abs()
+    }
+
+    #[test]
+    fn line_mst() {
+        let mst = prim(4, 0, line_metric);
+        assert_eq!(mst.cost, 10.0); // 1 + 1 + 8
+        assert_eq!(mst.parent[0], None);
+        assert_eq!(mst.parent[1], Some(0));
+        assert_eq!(mst.parent[2], Some(1));
+        assert_eq!(mst.parent[3], Some(2));
+        assert_eq!(mst.depths(), vec![0, 1, 2, 3]);
+        assert_eq!(mst.children()[1], vec![2]);
+    }
+
+    #[test]
+    fn single_point() {
+        let mst = prim(1, 0, |_, _| unreachable!());
+        assert_eq!(mst.cost, 0.0);
+        assert_eq!(mst.parent, vec![None]);
+    }
+
+    #[test]
+    fn root_choice_does_not_change_cost() {
+        for root in 0..4 {
+            assert_eq!(prim(4, root, line_metric).cost, 10.0);
+        }
+    }
+
+    #[test]
+    fn tree_cost_of_mst_equals_mst_cost() {
+        let mst = prim(4, 2, line_metric);
+        assert_eq!(tree_cost(&mst.parent, line_metric), mst.cost);
+    }
+
+    #[test]
+    fn mst_not_worse_than_star() {
+        // Random symmetric metric; MST must cost no more than the star
+        // rooted anywhere.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 12;
+        let mut m = vec![vec![0.0; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = rng.gen_range(1.0..100.0);
+                m[i][j] = w;
+                m[j][i] = w;
+            }
+        }
+        let metric = |a: usize, b: usize| m[a][b];
+        let mst = prim(n, 0, metric);
+        #[allow(clippy::needless_range_loop)]
+        for root in 0..n {
+            let star: Millis = (0..n).filter(|&v| v != root).map(|v| m[root][v]).sum();
+            assert!(mst.cost <= star + 1e-9);
+        }
+    }
+}

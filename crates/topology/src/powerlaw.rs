@@ -1,0 +1,164 @@
+//! Barabási–Albert preferential-attachment graphs.
+//!
+//! Power-law degree distributions are the classic model of AS-level
+//! Internet topology (the third common choice next to transit-stub and
+//! Waxman). Each new node attaches to `m` existing nodes chosen with
+//! probability proportional to their current degree, producing a few
+//! high-degree hubs and many low-degree leaves — a shape that stresses
+//! overlay protocols differently from both the transit-stub hierarchy
+//! (structured) and Waxman (flat, geometric).
+
+use crate::graph::{Graph, LinkAttrs, NodeId, NodeKind};
+use crate::Millis;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters of the Barabási–Albert generator.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLawConfig {
+    /// Number of nodes (≥ `m + 1`).
+    pub nodes: usize,
+    /// Edges added per new node (attachment count).
+    pub m: usize,
+    /// Link delay range, ms (uniform; hub links tend to be backbone-ish
+    /// so the default range is wide).
+    pub delay_range: (Millis, Millis),
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 100,
+            m: 2,
+            delay_range: (2.0, 30.0),
+        }
+    }
+}
+
+/// Generate a connected Barabási–Albert graph.
+///
+/// Implementation note: preferential attachment samples uniformly from
+/// the *edge-endpoint multiset* (each edge contributes both endpoints),
+/// which weights nodes by degree without bookkeeping.
+pub fn generate(cfg: &PowerLawConfig, seed: u64) -> Graph {
+    assert!(cfg.m >= 1, "need at least one edge per node");
+    assert!(
+        cfg.nodes > cfg.m,
+        "need more nodes ({}) than the attachment count ({})",
+        cfg.nodes,
+        cfg.m
+    );
+    assert!(cfg.delay_range.0 > 0.0 && cfg.delay_range.1 >= cfg.delay_range.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0070_6f77_6572);
+    let mut g = Graph::with_nodes(cfg.nodes, NodeKind::Stub);
+    let mut sample_delay = {
+        let (lo, hi) = cfg.delay_range;
+        move |rng: &mut StdRng| {
+            if hi > lo {
+                rng.gen_range(lo..hi)
+            } else {
+                lo
+            }
+        }
+    };
+
+    // Seed clique over the first m+1 nodes.
+    let seed_n = cfg.m + 1;
+    let mut endpoints: Vec<u32> = Vec::with_capacity(cfg.nodes * cfg.m * 2);
+    for i in 0..seed_n {
+        for j in (i + 1)..seed_n {
+            let d = sample_delay(&mut rng);
+            g.add_edge(NodeId(i as u32), NodeId(j as u32), LinkAttrs::delay(d));
+            endpoints.push(i as u32);
+            endpoints.push(j as u32);
+        }
+    }
+
+    // Preferential attachment for the rest.
+    for v in seed_n..cfg.nodes {
+        let mut targets = Vec::with_capacity(cfg.m);
+        let mut guard = 0;
+        while targets.len() < cfg.m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t as usize != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "attachment sampling stuck");
+        }
+        for t in targets {
+            let d = sample_delay(&mut rng);
+            g.add_edge(NodeId(v as u32), NodeId(t), LinkAttrs::delay(d));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    debug_assert!(g.is_connected());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_connected_with_expected_edge_count() {
+        let cfg = PowerLawConfig {
+            nodes: 200,
+            m: 2,
+            ..PowerLawConfig::default()
+        };
+        let g = generate(&cfg, 3);
+        assert_eq!(g.num_nodes(), 200);
+        assert!(g.is_connected());
+        // Seed clique C(3,2)=3 edges + (200-3)*2.
+        assert_eq!(g.num_edges(), 3 + 197 * 2);
+    }
+
+    #[test]
+    fn degree_distribution_has_hubs_and_leaves() {
+        let g = generate(
+            &PowerLawConfig {
+                nodes: 500,
+                m: 2,
+                ..PowerLawConfig::default()
+            },
+            7,
+        );
+        let degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        let max = *degrees.iter().max().unwrap();
+        let min_count = degrees.iter().filter(|&&d| d == 2).count();
+        // Hubs: the busiest node should dwarf the attachment count.
+        assert!(max >= 20, "max degree {max} — no hubs formed");
+        // Leaves: a large share stays at the minimum degree.
+        assert!(
+            min_count > 150,
+            "only {min_count} minimum-degree nodes — not heavy-tailed"
+        );
+        // Mean degree ≈ 2m.
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!((mean - 4.0).abs() < 0.5, "mean degree {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&PowerLawConfig::default(), 5);
+        let b = generate(&PowerLawConfig::default(), 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for ((_, ea), (_, eb)) in a.edges().zip(b.edges()) {
+            assert_eq!((ea.a, ea.b), (eb.a, eb.b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_degenerate_sizes() {
+        generate(
+            &PowerLawConfig {
+                nodes: 2,
+                m: 2,
+                ..PowerLawConfig::default()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Shortest paths over the underlay graph.
+//!
+//! The discrete-event simulator forwards every packet along delay-shortest
+//! routes, exactly as the paper's NS-2 setup does, and the stress metric
+//! needs the *edge sequence* of each route. [`Apsp`] therefore precomputes
+//! both a distance matrix and a next-hop matrix; [`Apsp::path_edges`] walks
+//! the next-hop table to enumerate physical links on a route.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::Millis;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// Source node.
+    pub source: NodeId,
+    /// `dist[v]` = delay-shortest distance (ms) from the source to `v`;
+    /// `INFINITY` if unreachable.
+    pub dist: Vec<Millis>,
+    /// `prev[v]` = predecessor of `v` on a shortest path, `None` for the
+    /// source and unreachable nodes.
+    pub prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the node path from the source to `to` (inclusive of both
+    /// endpoints). Returns `None` if `to` is unreachable.
+    pub fn path_to(&self, to: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[to.idx()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = self.prev[cur.idx()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: Millis,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; tie-break on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Delay-weighted Dijkstra from `source`.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    let n = g.num_nodes();
+    let mut dist = vec![Millis::INFINITY; n];
+    let mut prev = vec![None; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source.idx()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v.idx()] {
+            continue; // stale entry
+        }
+        for adj in g.neighbors(v) {
+            let nd = d + g.edge(adj.edge).attrs.delay_ms;
+            if nd < dist[adj.to.idx()] {
+                dist[adj.to.idx()] = nd;
+                prev[adj.to.idx()] = Some(v);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: adj.to,
+                });
+            }
+        }
+    }
+    ShortestPaths { source, dist, prev }
+}
+
+/// All-pairs shortest paths with next-hop routing tables.
+///
+/// Memory is `O(n^2)` for distances (f32) plus `O(n^2)` for next hops
+/// (u32), which is fine at the paper's scales (≤ a few thousand routers).
+#[derive(Clone, Debug)]
+pub struct Apsp {
+    n: usize,
+    /// Flattened `n x n` distance matrix in ms.
+    dist: Vec<f32>,
+    /// Flattened `n x n` next-hop matrix; `u32::MAX` when unreachable or
+    /// on the diagonal.
+    next: Vec<u32>,
+}
+
+impl Apsp {
+    /// Run Dijkstra from every node of `g`.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut dist = vec![f32::INFINITY; n * n];
+        let mut next = vec![u32::MAX; n * n];
+        for s in g.nodes() {
+            let sp = dijkstra(g, s);
+            let row = s.idx() * n;
+            for v in g.nodes() {
+                dist[row + v.idx()] = sp.dist[v.idx()] as f32;
+                if v != s && sp.dist[v.idx()].is_finite() {
+                    // First hop from s toward v: walk prev[] back from v.
+                    let mut cur = v;
+                    while let Some(p) = sp.prev[cur.idx()] {
+                        if p == s {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    next[row + v.idx()] = cur.0;
+                }
+            }
+        }
+        Self { n, dist, next }
+    }
+
+    /// Number of nodes the table was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest one-way delay (ms) from `a` to `b`.
+    #[inline]
+    pub fn dist_ms(&self, a: NodeId, b: NodeId) -> Millis {
+        self.dist[a.idx() * self.n + b.idx()] as Millis
+    }
+
+    /// Next hop from `a` toward `b`; `None` if unreachable or `a == b`.
+    #[inline]
+    pub fn next_hop(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let h = self.next[a.idx() * self.n + b.idx()];
+        (h != u32::MAX).then_some(NodeId(h))
+    }
+
+    /// Node sequence of the route `a -> b` (inclusive). Empty when
+    /// unreachable; `[a]` when `a == b`.
+    pub fn path_nodes(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        if a == b {
+            return vec![a];
+        }
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            match self.next_hop(cur, b) {
+                Some(h) => {
+                    cur = h;
+                    path.push(cur);
+                    debug_assert!(path.len() <= self.n, "routing loop {a}->{b}");
+                }
+                None => return Vec::new(),
+            }
+        }
+        path
+    }
+
+    /// Edge sequence of the route `a -> b`, for per-link accounting.
+    pub fn path_edges(&self, g: &Graph, a: NodeId, b: NodeId) -> Vec<EdgeId> {
+        let nodes = self.path_nodes(a, b);
+        nodes
+            .windows(2)
+            .map(|w| {
+                g.find_edge(w[0], w[1])
+                    .expect("next-hop table references a missing edge")
+            })
+            .collect()
+    }
+
+    /// Number of hops on the route `a -> b` (`0` if `a == b` or
+    /// unreachable).
+    pub fn hop_count(&self, a: NodeId, b: NodeId) -> usize {
+        self.path_nodes(a, b).len().saturating_sub(1)
+    }
+}
+
+/// Reference Floyd–Warshall APSP distances, used to cross-check [`Apsp`]
+/// in tests (kept in the library so property tests in dependent crates can
+/// reuse it).
+pub fn floyd_warshall(g: &Graph) -> Vec<Vec<Millis>> {
+    let n = g.num_nodes();
+    let mut d = vec![vec![Millis::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for (_, e) in g.edges() {
+        let w = e.attrs.delay_ms;
+        if w < d[e.a.idx()][e.b.idx()] {
+            d[e.a.idx()][e.b.idx()] = w;
+            d[e.b.idx()][e.a.idx()] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k].is_infinite() {
+                continue;
+            }
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkAttrs, NodeKind};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// 0 -1- 1 -1- 2, plus a slow direct 0-2 edge of weight 5.
+    fn line_with_shortcut() -> Graph {
+        let mut g = Graph::with_nodes(3, NodeKind::Stub);
+        g.add_edge(NodeId(0), NodeId(1), LinkAttrs::delay(1.0));
+        g.add_edge(NodeId(1), NodeId(2), LinkAttrs::delay(1.0));
+        g.add_edge(NodeId(0), NodeId(2), LinkAttrs::delay(5.0));
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_two_hop_path() {
+        let g = line_with_shortcut();
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist, vec![0.0, 1.0, 2.0]);
+        assert_eq!(
+            sp.path_to(NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn apsp_matches_dijkstra_and_routes() {
+        let g = line_with_shortcut();
+        let apsp = Apsp::build(&g);
+        assert_eq!(apsp.dist_ms(NodeId(0), NodeId(2)), 2.0);
+        assert_eq!(apsp.dist_ms(NodeId(2), NodeId(0)), 2.0);
+        assert_eq!(apsp.next_hop(NodeId(0), NodeId(2)), Some(NodeId(1)));
+        assert_eq!(
+            apsp.path_nodes(NodeId(0), NodeId(2)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(apsp.hop_count(NodeId(0), NodeId(2)), 2);
+        assert_eq!(apsp.hop_count(NodeId(0), NodeId(0)), 0);
+        let edges = apsp.path_edges(&g, NodeId(0), NodeId(2));
+        assert_eq!(edges.len(), 2);
+        assert_eq!(g.edge(edges[0]).attrs.delay_ms, 1.0);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = line_with_shortcut();
+        let iso = g.add_node(NodeKind::Stub);
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(sp.dist[iso.idx()].is_infinite());
+        assert!(sp.path_to(iso).is_none());
+        let apsp = Apsp::build(&g);
+        assert!(apsp.dist_ms(NodeId(0), iso).is_infinite());
+        assert!(apsp.next_hop(NodeId(0), iso).is_none());
+        assert!(apsp.path_nodes(NodeId(0), iso).is_empty());
+    }
+
+    #[test]
+    fn apsp_matches_floyd_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..20);
+            let mut g = Graph::with_nodes(n, NodeKind::Stub);
+            // Random spanning structure plus extra edges.
+            for v in 1..n {
+                let u = rng.gen_range(0..v);
+                g.add_edge(
+                    NodeId(u as u32),
+                    NodeId(v as u32),
+                    LinkAttrs::delay(rng.gen_range(1.0..20.0)),
+                );
+            }
+            for _ in 0..n {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b && g.find_edge(NodeId(a as u32), NodeId(b as u32)).is_none() {
+                    g.add_edge(
+                        NodeId(a as u32),
+                        NodeId(b as u32),
+                        LinkAttrs::delay(rng.gen_range(1.0..20.0)),
+                    );
+                }
+            }
+            let apsp = Apsp::build(&g);
+            let fw = floyd_warshall(&g);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    let d1 = apsp.dist_ms(a, b);
+                    let d2 = fw[a.idx()][b.idx()];
+                    assert!(
+                        (d1 - d2).abs() < 1e-3,
+                        "dist mismatch {a}->{b}: {d1} vs {d2}"
+                    );
+                    // Route delay must equal the distance.
+                    let path = apsp.path_nodes(a, b);
+                    let total: Millis = path
+                        .windows(2)
+                        .map(|w| g.edge(g.find_edge(w[0], w[1]).unwrap()).attrs.delay_ms)
+                        .sum();
+                    assert!((total - d2).abs() < 1e-3);
+                }
+            }
+        }
+    }
+}

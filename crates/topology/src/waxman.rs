@@ -1,0 +1,194 @@
+//! Waxman / Euclidean random graphs.
+//!
+//! These flat topologies complement the transit-stub model for sensitivity
+//! studies: nodes are placed uniformly in a square and edges appear with
+//! the classic Waxman probability `alpha * exp(-d / (beta * L))`, where `d`
+//! is the Euclidean distance and `L` the plane diagonal. Link delays are
+//! proportional to Euclidean distance, so the triangle inequality holds
+//! exactly — a useful contrast to the geographic pool of [`crate::geo`],
+//! which deliberately violates it.
+
+use crate::graph::{Graph, LinkAttrs, NodeId, NodeKind};
+use crate::Millis;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters of the Waxman generator.
+#[derive(Clone, Copy, Debug)]
+pub struct WaxmanConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Waxman `alpha` (overall edge density), typically 0.1–0.4.
+    pub alpha: f64,
+    /// Waxman `beta` (long-edge affinity), typically 0.1–0.3.
+    pub beta: f64,
+    /// Side of the placement square; delays are `distance * delay_per_unit`.
+    pub side: f64,
+    /// Milliseconds of one-way delay per unit of Euclidean distance.
+    pub delay_per_unit: Millis,
+}
+
+impl Default for WaxmanConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 100,
+            alpha: 0.25,
+            beta: 0.2,
+            side: 100.0,
+            delay_per_unit: 0.5,
+        }
+    }
+}
+
+/// A generated Waxman graph together with node coordinates.
+#[derive(Clone, Debug)]
+pub struct WaxmanGraph {
+    /// The connected graph.
+    pub graph: Graph,
+    /// `(x, y)` placement of each node.
+    pub coords: Vec<(f64, f64)>,
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Generate a connected Waxman graph.
+///
+/// Connectivity is guaranteed by overlaying a Euclidean-MST-like chain:
+/// after the probabilistic pass, any disconnected component is linked to
+/// the main component through its closest pair.
+pub fn generate(cfg: &WaxmanConfig, seed: u64) -> WaxmanGraph {
+    assert!(cfg.nodes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7761_786d_616e);
+    let coords: Vec<(f64, f64)> = (0..cfg.nodes)
+        .map(|_| (rng.gen_range(0.0..cfg.side), rng.gen_range(0.0..cfg.side)))
+        .collect();
+    let diag = cfg.side * std::f64::consts::SQRT_2;
+    let mut g = Graph::with_nodes(cfg.nodes, NodeKind::Stub);
+    for i in 0..cfg.nodes {
+        for j in (i + 1)..cfg.nodes {
+            let d = dist(coords[i], coords[j]);
+            let p = cfg.alpha * (-d / (cfg.beta * diag)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(
+                    NodeId(i as u32),
+                    NodeId(j as u32),
+                    LinkAttrs::delay((d * cfg.delay_per_unit).max(0.01)),
+                );
+            }
+        }
+    }
+    // Stitch components together with shortest candidate edges.
+    loop {
+        let comp = components(&g);
+        if comp.num == 1 {
+            break;
+        }
+        // Find the closest pair spanning component 0 and any other.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..cfg.nodes {
+            if comp.of[i] != 0 {
+                continue;
+            }
+            for j in 0..cfg.nodes {
+                if comp.of[j] == 0 {
+                    continue;
+                }
+                let d = dist(coords[i], coords[j]);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, d) = best.expect("disconnected graph must have a spanning pair");
+        g.add_edge(
+            NodeId(i as u32),
+            NodeId(j as u32),
+            LinkAttrs::delay((d * cfg.delay_per_unit).max(0.01)),
+        );
+    }
+    WaxmanGraph { graph: g, coords }
+}
+
+struct Components {
+    of: Vec<usize>,
+    num: usize,
+}
+
+fn components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    let mut of = vec![usize::MAX; n];
+    let mut num = 0;
+    for start in 0..n {
+        if of[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![NodeId(start as u32)];
+        of[start] = num;
+        while let Some(v) = stack.pop() {
+            for adj in g.neighbors(v) {
+                if of[adj.to.idx()] == usize::MAX {
+                    of[adj.to.idx()] = num;
+                    stack.push(adj.to);
+                }
+            }
+        }
+        num += 1;
+    }
+    Components { of, num }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_connected() {
+        for seed in 0..5 {
+            let wg = generate(&WaxmanConfig::default(), seed);
+            assert!(wg.graph.is_connected());
+            assert_eq!(wg.graph.num_nodes(), 100);
+            assert_eq!(wg.coords.len(), 100);
+        }
+    }
+
+    #[test]
+    fn sparse_config_still_connects() {
+        let cfg = WaxmanConfig {
+            nodes: 40,
+            alpha: 0.01,
+            beta: 0.05,
+            ..WaxmanConfig::default()
+        };
+        let wg = generate(&cfg, 3);
+        assert!(wg.graph.is_connected());
+    }
+
+    #[test]
+    fn single_node() {
+        let cfg = WaxmanConfig {
+            nodes: 1,
+            ..WaxmanConfig::default()
+        };
+        let wg = generate(&cfg, 0);
+        assert_eq!(wg.graph.num_nodes(), 1);
+        assert_eq!(wg.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&WaxmanConfig::default(), 11);
+        let b = generate(&WaxmanConfig::default(), 11);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.coords, b.coords);
+    }
+
+    #[test]
+    fn delays_respect_distance() {
+        let wg = generate(&WaxmanConfig::default(), 2);
+        for (_, e) in wg.graph.edges() {
+            let d = dist(wg.coords[e.a.idx()], wg.coords[e.b.idx()]);
+            assert!((e.attrs.delay_ms - (d * 0.5).max(0.01)).abs() < 1e-9);
+        }
+    }
+}
