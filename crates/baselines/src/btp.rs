@@ -90,7 +90,14 @@ impl AgentFactory for BtpFactory {
         degree_limit: u32,
         incarnation: u32,
     ) -> Self::Agent {
-        ProtocolAgent::new(host, source, degree_limit, incarnation, self.agent, BtpPolicy)
+        ProtocolAgent::new(
+            host,
+            source,
+            degree_limit,
+            incarnation,
+            self.agent,
+            BtpPolicy,
+        )
     }
 }
 

@@ -41,10 +41,11 @@ impl WalkPolicy for HmtpPolicy {
         if purpose == WalkPurpose::Refine && p.iteration >= 1 {
             return WalkStep::Attach { splice: Vec::new() };
         }
-        let best = p
-            .children
-            .iter()
-            .min_by(|a, b| a.d_new_child.total_cmp(&b.d_new_child).then(a.child.cmp(&b.child)));
+        let best = p.children.iter().min_by(|a, b| {
+            a.d_new_child
+                .total_cmp(&b.d_new_child)
+                .then(a.child.cmp(&b.child))
+        });
         match best {
             // Walk down toward the closest child ("it finds the closest
             // child to itself [...] It repeats the same process with
@@ -56,9 +57,7 @@ impl WalkPolicy for HmtpPolicy {
             // (d(P,C) dominating), going down would overshoot, so it
             // attaches here and lets the child find it during
             // refinement (§3.5 Scenario II).
-            Some(b)
-                if !(b.d_parent_child >= p.d_current && b.d_parent_child >= b.d_new_child) =>
-            {
+            Some(b) if !(b.d_parent_child >= p.d_current && b.d_parent_child >= b.d_new_child) => {
                 WalkStep::Descend(b.child)
             }
             _ => WalkStep::Attach { splice: Vec::new() },
@@ -117,7 +116,14 @@ impl AgentFactory for HmtpFactory {
         degree_limit: u32,
         incarnation: u32,
     ) -> Self::Agent {
-        ProtocolAgent::new(host, source, degree_limit, incarnation, self.agent, HmtpPolicy)
+        ProtocolAgent::new(
+            host,
+            source,
+            degree_limit,
+            incarnation,
+            self.agent,
+            HmtpPolicy,
+        )
     }
 }
 
@@ -147,7 +153,10 @@ mod tests {
     #[test]
     fn descends_to_strictly_closer_child() {
         let p = HmtpPolicy;
-        let step = p.decide(&probe(10.0, &[(1, 6.0, 4.0), (2, 6.0, 7.0)]), WalkPurpose::Join);
+        let step = p.decide(
+            &probe(10.0, &[(1, 6.0, 4.0), (2, 6.0, 7.0)]),
+            WalkPurpose::Join,
+        );
         assert_eq!(step, WalkStep::Descend(HostId(1)));
     }
 
@@ -223,8 +232,8 @@ mod tests {
         let tr = ov.join(HostId(2), 4, &HmtpPolicy);
         assert_eq!(tr.parent, HostId(0));
         assert_eq!(ov.peer(HostId(1)).parent, Some(HostId(0))); // C not moved
-        // C's own refinement then finds N: the refine walk descends to
-        // N (closest) and reattaches C under it.
+                                                                // C's own refinement then finds N: the refine walk descends to
+                                                                // N (closest) and reattaches C under it.
         let mut rng = StdRng::seed_from_u64(3);
         let changed = ov.refine(HostId(1), &HmtpPolicy, &mut rng);
         assert!(changed);

@@ -84,9 +84,7 @@ mod tests {
                 .map(|i| if i == 0 { None } else { Some(HostId(0)) })
                 .collect(),
         };
-        let cost = |s: &TreeSnapshot| -> f64 {
-            s.edges().iter().map(|&(p, c)| dist(p, c)).sum()
-        };
+        let cost = |s: &TreeSnapshot| -> f64 { s.edges().iter().map(|&(p, c)| dist(p, c)).sum() };
         assert!(cost(&snap) <= cost(&star) + 1e-9);
         let r = mst_ratio(&star, dist).unwrap();
         assert!(r >= 1.0);

@@ -27,13 +27,11 @@ impl WalkPolicy for StarPolicy {
 }
 
 /// Builds star agents (no refinement, no root paths).
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct StarFactory {
     /// Agent mechanics.
     pub agent: AgentConfig,
 }
-
 
 impl AgentFactory for StarFactory {
     type Agent = ProtocolAgent<StarPolicy>;
@@ -45,7 +43,14 @@ impl AgentFactory for StarFactory {
         degree_limit: u32,
         incarnation: u32,
     ) -> Self::Agent {
-        ProtocolAgent::new(host, source, degree_limit, incarnation, self.agent, StarPolicy)
+        ProtocolAgent::new(
+            host,
+            source,
+            degree_limit,
+            incarnation,
+            self.agent,
+            StarPolicy,
+        )
     }
 }
 

@@ -1,0 +1,130 @@
+//! Fault-injection hot path: the per-send cost of the chaos layer.
+//!
+//! The headline numbers are the `fate/*` benches — `Engine::send` calls
+//! [`FaultPlan::fate`] once per message, so chaos-off runs must pay
+//! ~zero overhead there (no plan: one `Option` check; empty plan: an
+//! empty-slice scan, no RNG). The `sim/*` benches confirm the same at
+//! whole-run scale: a run with no plan and a run with an empty plan
+//! should be indistinguishable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vdm_core::VdmFactory;
+use vdm_netsim::{FaultEvent, FaultPlan, HostId, LatencySpace, SimTime};
+use vdm_overlay::driver::{Driver, DriverConfig};
+use vdm_overlay::scenario::{ChurnConfig, Scenario};
+
+fn msg_window(from: u64, until: u64) -> FaultEvent {
+    FaultEvent::MsgFaults {
+        from: SimTime::from_secs(from),
+        until: SimTime::from_secs(until),
+        drop_p: 0.05,
+        dup_p: 0.10,
+        reorder_p: 0.10,
+        reorder_max: SimTime::from_ms(200.0),
+        spike_p: 0.02,
+        spike: SimTime::from_ms(500.0),
+    }
+}
+
+fn bench_fate(c: &mut Criterion) {
+    let now = SimTime::from_secs(100);
+    let (a, b) = (HostId(1), HostId(2));
+    let mut group = c.benchmark_group("fate");
+    let mut empty = FaultPlan::new(7);
+    group.bench_function("empty_plan", |bch| {
+        bch.iter(|| black_box(empty.fate(black_box(now), a, b)))
+    });
+    // Events exist but none is active at `now`: the scan cost chaos-on
+    // runs pay outside fault windows.
+    let mut idle = FaultPlan::with_events(
+        7,
+        (0..8)
+            .map(|i| msg_window(200 + i * 20, 210 + i * 20))
+            .collect(),
+    );
+    group.bench_function("idle_events", |bch| {
+        bch.iter(|| black_box(idle.fate(black_box(now), a, b)))
+    });
+    // Inside an active message-fault window: full RNG draws per send.
+    let mut active = FaultPlan::with_events(7, vec![msg_window(50, 150)]);
+    group.bench_function("active_window", |bch| {
+        bch.iter(|| black_box(active.fate(black_box(now), a, b)))
+    });
+    let slowdown = FaultPlan::with_events(
+        7,
+        vec![FaultEvent::Slowdown {
+            host: b,
+            factor: 3.0,
+            from: SimTime::from_secs(50),
+            until: SimTime::from_secs(150),
+        }],
+    );
+    group.bench_function("slowdown_factor", |bch| {
+        bch.iter(|| black_box(slowdown.slowdown_factor(black_box(now), b)))
+    });
+    group.finish();
+}
+
+fn line_space(n: usize) -> Arc<LatencySpace> {
+    let mut rtt = vec![vec![0.0; n]; n];
+    for (i, row) in rtt.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                *v = 10.0 * (i as f64 - j as f64).abs();
+            }
+        }
+    }
+    Arc::new(LatencySpace::from_rtt_matrix(&rtt))
+}
+
+fn run_sim(space: &Arc<LatencySpace>, plan: Option<FaultPlan>) -> u64 {
+    let members = 10usize;
+    let hosts: Vec<HostId> = (1..=members as u32).map(HostId).collect();
+    let scenario = Scenario::churn(
+        &ChurnConfig {
+            members,
+            warmup_s: 30.0,
+            slot_s: 60.0,
+            slots: 2,
+            churn_pct: 0.0,
+        },
+        &hosts,
+        5,
+    );
+    let mut driver = Driver::new(
+        space.clone(),
+        None,
+        HostId(0),
+        VdmFactory::delay_based(),
+        &scenario,
+        vec![3; members + 1],
+        DriverConfig::default(),
+        5,
+    );
+    if let Some(plan) = plan {
+        driver.set_fault_plan(plan);
+    }
+    driver.run().events
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let space = line_space(11);
+    let mut group = c.benchmark_group("sim_150s");
+    group.bench_function("no_plan", |b| b.iter(|| black_box(run_sim(&space, None))));
+    group.bench_function("empty_plan", |b| {
+        b.iter(|| black_box(run_sim(&space, Some(FaultPlan::new(5)))))
+    });
+    group.bench_function("chaos_plan", |b| {
+        b.iter(|| {
+            black_box(run_sim(
+                &space,
+                Some(FaultPlan::with_events(5, vec![msg_window(40, 120)])),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fate, bench_sim);
+criterion_main!(benches);

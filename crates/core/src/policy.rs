@@ -351,7 +351,7 @@ mod tests {
         let mut ov = SyncOverlay::new(4, HostId(0), 4, line(&POS));
         ov.join(HostId(2), 4, &policy); // C2 under S
         ov.join(HostId(1), 4, &policy); // C1: between S and C2 -> adopts C2
-        // Tree: S -> C1 -> C2. Now N=6 with limit 1:
+                                        // Tree: S -> C1 -> C2. Now N=6 with limit 1:
         let tr = ov.join(HostId(3), 1, &policy);
         // At S: C1 Case II (8 > 6 > 2). N attaches to S adopting C1.
         assert_eq!(tr.parent, HostId(0));
@@ -485,34 +485,44 @@ mod paper_limitations {
         // triple with C3 is Case II-ish/Case I and the walk never sees
         // C2.
         static POS: [f64; 4] = [0.0, -6.0, -3.0, -2.0];
-        let dist = |a: vdm_netsim::HostId, b: vdm_netsim::HostId| {
-            (POS[a.idx()] - POS[b.idx()]).abs()
-        };
+        let dist =
+            |a: vdm_netsim::HostId, b: vdm_netsim::HostId| (POS[a.idx()] - POS[b.idx()]).abs();
         let policy = VdmPolicy::delay_based();
         let mut ov = SyncOverlay::new(4, vdm_netsim::HostId(0), 4, dist);
         ov.join(vdm_netsim::HostId(1), 4, &policy); // C3 under P
         ov.join(vdm_netsim::HostId(2), 4, &policy); // C2 spliced between P and C3
-        // Sanity: P -> C2 -> C3 after the splice.
-        assert_eq!(ov.peer(vdm_netsim::HostId(2)).parent, Some(vdm_netsim::HostId(0)));
-        assert_eq!(ov.peer(vdm_netsim::HostId(1)).parent, Some(vdm_netsim::HostId(2)));
+                                                    // Sanity: P -> C2 -> C3 after the splice.
+        assert_eq!(
+            ov.peer(vdm_netsim::HostId(2)).parent,
+            Some(vdm_netsim::HostId(0))
+        );
+        assert_eq!(
+            ov.peer(vdm_netsim::HostId(1)).parent,
+            Some(vdm_netsim::HostId(2))
+        );
         // N at -2: at P, the C2 triple is Case II (d(P,C2)=3 > d(P,N)=2
         // > d(N,C2)=1): N splices at P adopting C2 — which here IS the
         // good outcome. To expose the Scenario-IV miss we need C2 deeper:
         // rebuild with C2 as grandchild whose parent triple hides it.
         static POS2: [f64; 4] = [0.0, 8.0, 5.0, 4.9];
-        let dist2 = |a: vdm_netsim::HostId, b: vdm_netsim::HostId| {
-            (POS2[a.idx()] - POS2[b.idx()]).abs()
-        };
+        let dist2 =
+            |a: vdm_netsim::HostId, b: vdm_netsim::HostId| (POS2[a.idx()] - POS2[b.idx()]).abs();
         let mut ov = SyncOverlay::new(4, vdm_netsim::HostId(0), 4, dist2);
         ov.join(vdm_netsim::HostId(1), 4, &policy); // C at 8 under P
         ov.join(vdm_netsim::HostId(2), 4, &policy); // C2 at 5: between P and C -> splice
-        assert_eq!(ov.peer(vdm_netsim::HostId(2)).parent, Some(vdm_netsim::HostId(0)));
+        assert_eq!(
+            ov.peer(vdm_netsim::HostId(2)).parent,
+            Some(vdm_netsim::HostId(0))
+        );
         // N at 4.9 joins: at P, C2's triple (d_pn=4.9, d_pc=5, d_nc=0.1)
         // -> Case II; N adopts C2 instead of becoming its child. The
         // edge P->N costs 4.9 whereas the optimal C2->N edge costs 0.1.
         let tr = ov.join(vdm_netsim::HostId(3), 4, &policy);
         assert_eq!(tr.parent, vdm_netsim::HostId(0));
-        assert_eq!(ov.peer(vdm_netsim::HostId(2)).parent, Some(vdm_netsim::HostId(3)));
+        assert_eq!(
+            ov.peer(vdm_netsim::HostId(2)).parent,
+            Some(vdm_netsim::HostId(3))
+        );
         // The tree is valid regardless — the miss is a quality issue,
         // not a correctness one.
         assert!(ov.snapshot().validate(&ov.limits()).is_empty());
@@ -530,6 +540,7 @@ mod non_metric_proptests {
 
     proptest! {
         #[test]
+        #[allow(clippy::needless_range_loop)]
         fn arbitrary_symmetric_distances_build_valid_trees(seed in 0u64..400) {
             use rand::{rngs::StdRng, Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(seed);

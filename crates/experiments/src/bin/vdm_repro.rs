@@ -17,12 +17,20 @@
 //!   fig5-mst      Fig 5.31        ratio to the MST
 //!   complexity    Eq 3.3          contacted peers per join vs N
 //!   ablation      extra           slack sweep, reconnection anchor
+//!   chaos         extra (A7)      seeded fault injection: recovery, VDM vs HMTP
 //!   all           everything above
 //! ```
+//!
+//! `chaos` runs a deterministic fault schedule (link flaps, a
+//! partition, message duplication/reordering, all combined) against
+//! both protocols and reports recovery times, orphan counts, delivery
+//! gaps and invariant violations with 90 % CIs. It writes CSVs to
+//! `results/` unless `--csv` overrides the directory; identical seeds
+//! produce byte-identical output.
 
 use std::io::Write;
 use std::time::Instant;
-use vdm_experiments::figures::{ablation, compare, complexity, fig3, fig4, fig5};
+use vdm_experiments::figures::{ablation, chaos, compare, complexity, fig3, fig4, fig5};
 use vdm_experiments::{Effort, Table};
 
 struct Opts {
@@ -59,6 +67,7 @@ fn run_family(name: &str, opts: &Opts) -> bool {
         "fig5-mst" => fig5::mst_family(e, s),
         "complexity" => complexity::join_complexity(e, s),
         "compare" => compare::ch3_compare(e, 5.0, s),
+        "chaos" => chaos::chaos_recovery(e, s),
         "ablation" => {
             let mut t = ablation::slack_sweep(e, s);
             t.extend(ablation::reconnect_anchor(e, s));
@@ -93,6 +102,7 @@ const ALL: &[&str] = &[
     "fig5-mst",
     "complexity",
     "ablation",
+    "chaos",
     "compare",
 ];
 
@@ -143,6 +153,11 @@ fn main() {
         print_usage();
         std::process::exit(2);
     };
+    // The chaos family always leaves a CSV audit trail (its whole point
+    // is reproducible recovery numbers).
+    if family == "chaos" && opts.csv_dir.is_none() {
+        opts.csv_dir = Some("results".into());
+    }
     if family == "all" {
         for f in ALL {
             assert!(run_family(f, &opts));

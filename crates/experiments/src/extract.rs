@@ -99,9 +99,9 @@ pub fn run_metrics(out: &RunOutput, tail: usize) -> RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vdm_netsim::HostId;
     use vdm_overlay::stats::{RunStats, Summary};
     use vdm_overlay::tree::TreeSnapshot;
-    use vdm_netsim::HostId;
 
     fn fake_run() -> RunOutput {
         let mut stats = RunStats::new(2);

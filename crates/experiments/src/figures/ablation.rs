@@ -41,15 +41,19 @@ pub fn slack_sweep(effort: Effort, seed: u64) -> Vec<Table> {
         vec!["stretch".into(), "usage".into(), "hopcount".into()],
     );
     for slack in slacks {
-        let m = replicate(effort.reps().clamp(2, 5), seed ^ ((slack * 1000.0) as u64), |s| {
-            let runner = SessionRunner::prepare(&cfg, s);
-            let factory = VdmFactory {
-                agent: Default::default(),
-                metric: VirtualMetric::Delay,
-                slack,
-            };
-            run_metrics(&runner.run(factory, s), 2)
-        });
+        let m = replicate(
+            effort.reps().clamp(2, 5),
+            seed ^ ((slack * 1000.0) as u64),
+            |s| {
+                let runner = SessionRunner::prepare(&cfg, s);
+                let factory = VdmFactory {
+                    agent: Default::default(),
+                    metric: VirtualMetric::Delay,
+                    slack,
+                };
+                run_metrics(&runner.run(factory, s), 2)
+            },
+        );
         table.push(
             slack,
             vec![
@@ -116,9 +120,11 @@ pub fn crash_churn(effort: Effort, seed: u64) -> Vec<Table> {
         let g = replicate(effort.reps().clamp(2, 5), seed ^ (churn as u64), |s| {
             run_crash_point(effort, churn, 0.0, s)
         });
-        let c = replicate(effort.reps().clamp(2, 5), seed ^ (churn as u64) ^ 0xc, |s| {
-            run_crash_point(effort, churn, 1.0, s)
-        });
+        let c = replicate(
+            effort.reps().clamp(2, 5),
+            seed ^ (churn as u64) ^ 0xc,
+            |s| run_crash_point(effort, churn, 1.0, s),
+        );
         table.push(
             churn,
             vec![
@@ -348,7 +354,7 @@ mod vdm_experiments_crash {
             ..super::base_cfg(effort)
         };
         let runner = SessionRunner::prepare(&cfg, seed);
-        let scenario = runner.scenario(seed).with_crashes(crash_frac, seed);
+        let scenario = runner.scenario(seed).with_crashes(crash_frac);
         let factory = VdmFactory {
             agent: AgentConfig {
                 data_timeout: Some(SimTime::from_secs(15)),
@@ -386,7 +392,11 @@ mod tests {
         let t = &slack_sweep(Effort::Quick, 9)[0];
         assert_eq!(t.rows.len(), 5);
         for (slack, stats) in &t.rows {
-            assert!(stats[0].mean > 0.5, "slack {slack}: stretch {}", stats[0].mean);
+            assert!(
+                stats[0].mean > 0.5,
+                "slack {slack}: stretch {}",
+                stats[0].mean
+            );
         }
     }
 

@@ -40,35 +40,39 @@ pub fn ch3_compare(effort: Effort, churn_pct: f64, seed: u64) -> Vec<Table> {
     let per_proto: Vec<Vec<RunMetrics>> = PROTOS
         .iter()
         .map(|&p| {
-            replicate(effort.reps().clamp(2, 8), seed ^ p.name().len() as u64, |s| {
-                let scenario = Scenario::churn(
-                    &ChurnConfig {
-                        members,
-                        warmup_s: 1_000.0,
-                        slot_s: 400.0,
-                        slots,
-                        churn_pct,
-                    },
-                    &setup.candidates,
-                    s,
-                );
-                let out = p.run(
-                    setup.underlay.clone(),
-                    Some(setup.underlay.clone()),
-                    setup.source,
-                    &scenario,
-                    limits.clone(),
-                    DriverConfig {
-                        data_interval: Some(SimTime::from_ms(effort.ch3_chunk_s() * 1_000.0)),
-                        compute_stress: true,
-                        compute_mst_ratio: true,
-                        loss_probe_noise: 0.0,
-                        data_plane: None,
-                    },
-                    s,
-                );
-                run_metrics(&out, slots.div_ceil(2))
-            })
+            replicate(
+                effort.reps().clamp(2, 8),
+                seed ^ p.name().len() as u64,
+                |s| {
+                    let scenario = Scenario::churn(
+                        &ChurnConfig {
+                            members,
+                            warmup_s: 1_000.0,
+                            slot_s: 400.0,
+                            slots,
+                            churn_pct,
+                        },
+                        &setup.candidates,
+                        s,
+                    );
+                    let out = p.run(
+                        setup.underlay.clone(),
+                        Some(setup.underlay.clone()),
+                        setup.source,
+                        &scenario,
+                        limits.clone(),
+                        DriverConfig {
+                            data_interval: Some(SimTime::from_ms(effort.ch3_chunk_s() * 1_000.0)),
+                            compute_stress: true,
+                            compute_mst_ratio: true,
+                            loss_probe_noise: 0.0,
+                            data_plane: None,
+                        },
+                        s,
+                    );
+                    run_metrics(&out, slots.div_ceil(2))
+                },
+            )
         })
         .collect();
     type MetricFn = fn(&RunMetrics) -> f64;

@@ -55,11 +55,8 @@ pub fn join_complexity(effort: Effort, seed: u64) -> Vec<Table> {
         vec!["measured".into(), "n*log_n(N)".into()],
     );
     for n in sizes {
-        let samples = replicate(effort.reps(), seed ^ (n as u64), |s| {
-            measure(n, degree, s)
-        });
-        let predicted =
-            degree as f64 * ((n as f64).ln() / (degree as f64).ln());
+        let samples = replicate(effort.reps(), seed ^ (n as u64), |s| measure(n, degree, s));
+        let predicted = degree as f64 * ((n as f64).ln() / (degree as f64).ln());
         table.push(
             n as f64,
             vec![
@@ -87,9 +84,6 @@ mod tests {
         let c512 = t.rows[2].1[0].mean;
         // 16x more nodes; contacts must grow, but far sub-linearly.
         assert!(c512 > c32, "contacts should grow with N");
-        assert!(
-            c512 < c32 * 6.0,
-            "contacts grew too fast: {c32} -> {c512}"
-        );
+        assert!(c512 < c32 * 6.0, "contacts grew too fast: {c32} -> {c512}");
     }
 }

@@ -92,9 +92,7 @@ struct FourTables {
 
 impl FourTables {
     fn new(figs: [&str; 4], x_label: &str, series: &[String]) -> Self {
-        let mk = |fig: &str, title: &str| {
-            Table::new(fig, title, x_label, series.to_vec())
-        };
+        let mk = |fig: &str, title: &str| Table::new(fig, title, x_label, series.to_vec());
         Self {
             stress: mk(figs[0], "Stress"),
             stretch: mk(figs[1], "Stretch"),

@@ -35,8 +35,7 @@ pub fn metric_family(effort: Effort, seed: u64) -> Vec<Table> {
         .iter()
         .map(|&p| {
             replicate(effort.reps(), seed ^ p.name().len() as u64, |s| {
-                let scenario =
-                    Scenario::growth(batch, batches, interval_s, &setup.candidates, s);
+                let scenario = Scenario::growth(batch, batches, interval_s, &setup.candidates, s);
                 let out = p.run(
                     setup.underlay.clone(),
                     Some(setup.underlay.clone()),
@@ -69,11 +68,7 @@ pub fn metric_family(effort: Effort, seed: u64) -> Vec<Table> {
             per_proto
                 .iter()
                 .map(|reps| {
-                    let samples: Vec<f64> = reps
-                        .iter()
-                        .filter_map(|ms| ms.get(b))
-                        .map(f)
-                        .collect();
+                    let samples: Vec<f64> = reps.iter().filter_map(|ms| ms.get(b)).map(f).collect();
                     CiStat::of(&samples)
                 })
                 .collect()

@@ -155,7 +155,12 @@ pub fn nodes_family(effort: Effort, seed: u64) -> Vec<Table> {
         _ => vec![20, 40, 60, 80, 100],
     };
     let series = |names: &[&str]| names.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-    let mut startup = Table::new("Fig 5.14", "Startup time (s)", "nodes", series(&["avg", "max"]));
+    let mut startup = Table::new(
+        "Fig 5.14",
+        "Startup time (s)",
+        "nodes",
+        series(&["avg", "max"]),
+    );
     let mut reconn = Table::new(
         "Fig 5.15",
         "Reconnection time (s)",
@@ -271,10 +276,7 @@ pub fn refine_family(effort: Effort, seed: u64) -> Vec<Table> {
             .map(|&p| run_sessions(p, &cfg, effort, seed ^ (n as u64 * 613)))
             .collect();
         let c = |s: &Vec<RunMetrics>, f: &dyn Fn(&RunMetrics) -> f64| CiStat::of(&column(s, f));
-        stretch.push(
-            n as f64,
-            per.iter().map(|s| c(s, &|x| x.stretch)).collect(),
-        );
+        stretch.push(n as f64, per.iter().map(|s| c(s, &|x| x.stretch)).collect());
         hop.push(
             n as f64,
             per.iter().map(|s| c(s, &|x| x.hopcount)).collect(),
@@ -296,12 +298,7 @@ pub fn mst_family(effort: Effort, seed: u64) -> Vec<Table> {
         Effort::Quick => vec![10, 20],
         _ => vec![10, 20, 30, 40, 50],
     };
-    let mut table = Table::new(
-        "Fig 5.31",
-        "Ratio to MST",
-        "nodes",
-        vec!["VDM/MST".into()],
-    );
+    let mut table = Table::new("Fig 5.31", "Ratio to MST", "nodes", vec!["VDM/MST".into()]);
     for n in sizes {
         let cfg = SessionConfig {
             nodes: n,

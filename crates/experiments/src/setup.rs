@@ -3,8 +3,8 @@
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::Arc;
 use vdm_netsim::{HostId, RoutedUnderlay};
-use vdm_topology::transit_stub::{attach_hosts, generate, randomize_losses, TransitStubConfig};
 use vdm_topology::powerlaw::{self, PowerLawConfig};
+use vdm_topology::transit_stub::{attach_hosts, generate, randomize_losses, TransitStubConfig};
 use vdm_topology::waxman::{self, WaxmanConfig};
 
 /// A ready Chapter 3 testbed: transit-stub routers with attached hosts,
@@ -58,7 +58,7 @@ pub fn ch3_setup(members: usize, link_loss: f64, topo_seed: u64) -> Ch3Setup {
 /// studies: the transit-stub hierarchy is one modelling choice; Waxman
 /// graphs have no domain structure at all).
 pub fn waxman_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
-    assert!(routers >= members + 1);
+    assert!(routers > members);
     let wg = waxman::generate(
         &WaxmanConfig {
             nodes: routers,
@@ -79,7 +79,7 @@ pub fn waxman_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
 /// router hubs, many leaves — the AS-level-Internet-like third topology
 /// for sensitivity studies.
 pub fn powerlaw_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
-    assert!(routers >= members + 1);
+    assert!(routers > members);
     let mut g = powerlaw::generate(
         &PowerLawConfig {
             nodes: routers,

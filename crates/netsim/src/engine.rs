@@ -19,6 +19,7 @@
 //!   of churn").
 
 use crate::dataplane::{DataPlane, DataPlaneConfig};
+use crate::faults::FaultPlan;
 use crate::time::SimTime;
 use crate::underlay::{HostId, Underlay};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -66,8 +67,13 @@ enum EventKind<M> {
         path: std::sync::Arc<[vdm_topology::EdgeId]>,
         next: usize,
     },
-    Timer { host: HostId, token: u64 },
-    External { token: u64 },
+    Timer {
+        host: HostId,
+        token: u64,
+    },
+    External {
+        token: u64,
+    },
 }
 
 struct Scheduled<M> {
@@ -107,6 +113,14 @@ pub struct Counters {
     pub data_congestion_dropped: u64,
     /// Messages delivered (any class).
     pub delivered: u64,
+    /// Messages dropped by the fault layer (blackouts and injected
+    /// message drops; any class).
+    pub faults_dropped: u64,
+    /// Messages duplicated by the fault layer.
+    pub faults_duplicated: u64,
+    /// Messages given extra delay by the fault layer (reordering or
+    /// delay spikes).
+    pub faults_delayed: u64,
 }
 
 /// The event engine. Generic over the message type `M`.
@@ -119,6 +133,7 @@ pub struct Engine<M> {
     counters: Counters,
     events_processed: u64,
     data_plane: Option<DataPlane>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<M> Engine<M> {
@@ -134,7 +149,20 @@ impl<M> Engine<M> {
             counters: Counters::default(),
             events_processed: 0,
             data_plane: None,
+            fault_plan: None,
         }
+    }
+
+    /// Install a fault-injection schedule. The plan's decisions draw on
+    /// its own seeded RNG, so the engine's stream — and therefore any run
+    /// without a plan — is unaffected.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Enable the NS-2-style queueing data plane: data packets pay
@@ -201,13 +229,42 @@ impl<M> Engine<M> {
     }
 
     /// Send `msg` from `from` to `to`. Control messages are reliable;
-    /// data packets may be dropped by path loss. Returns `true` if the
+    /// data packets may be dropped by path loss. With a fault plan
+    /// installed, messages of either class may additionally be dropped,
+    /// duplicated or delayed by the fault layer. Returns `true` if the
     /// message was scheduled for delivery.
-    pub fn send(&mut self, from: HostId, to: HostId, msg: M, class: SendClass) -> bool {
+    pub fn send(&mut self, from: HostId, to: HostId, msg: M, class: SendClass) -> bool
+    where
+        M: Clone,
+    {
         assert!(from != to, "host {from} sending to itself");
         match class {
             SendClass::Control => self.counters.control_sent += 1,
             SendClass::Data => self.counters.data_sent += 1,
+        }
+        // Fault layer first: blackouts and message faults apply to both
+        // classes — surviving unreliable *control* delivery is exactly
+        // what chaos runs exercise. Without a plan this is one branch
+        // and consumes no randomness, so chaos-off runs are untouched.
+        let mut fault_extra = SimTime::ZERO;
+        let mut fault_dup = None;
+        if let Some(plan) = self.fault_plan.as_mut() {
+            let fate = plan.fate(self.now, from, to);
+            if fate.dropped {
+                self.counters.faults_dropped += 1;
+                if class == SendClass::Data {
+                    self.counters.data_dropped += 1;
+                }
+                return false;
+            }
+            if fate.extra_delay > SimTime::ZERO {
+                self.counters.faults_delayed += 1;
+                fault_extra = fate.extra_delay;
+            }
+            if let Some(extra) = fate.duplicate {
+                self.counters.faults_duplicated += 1;
+                fault_dup = Some(extra);
+            }
         }
         if class == SendClass::Data {
             let p = self.underlay.path_loss(from, to);
@@ -217,16 +274,37 @@ impl<M> Engine<M> {
             }
             // Queueing data plane: route hop by hop over the link
             // calendars (one event per link crossing, so every link is
-            // charged in true arrival order).
+            // charged in true arrival order). Fault-injected extra
+            // delays don't apply on the hop path; duplicates do, and
+            // pay queueing like any other packet.
             if self.data_plane.is_some() {
                 if let Some(path) = self.underlay.path_edges(from, to) {
                     let path: std::sync::Arc<[vdm_topology::EdgeId]> = path.into();
+                    if fault_dup.is_some() {
+                        self.advance_hop(to, from, msg.clone(), path.clone(), 0);
+                    }
                     return self.advance_hop(to, from, msg, path, 0);
                 }
             }
         }
-        let delay = self.underlay.sample_one_way_ms(from, to, &mut self.rng);
-        let at = self.now + SimTime::from_ms(delay);
+        let mut delay = SimTime::from_ms(self.underlay.sample_one_way_ms(from, to, &mut self.rng));
+        if let Some(plan) = self.fault_plan.as_ref() {
+            let f = plan.slowdown_factor(self.now, to);
+            if f != 1.0 {
+                delay = SimTime::from_ms(delay.as_ms() * f);
+            }
+        }
+        let at = self.now + delay + fault_extra;
+        if let Some(extra) = fault_dup {
+            self.push(
+                at + extra,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
         self.push(at, EventKind::Deliver { to, from, msg });
         true
     }
@@ -242,7 +320,10 @@ impl<M> Engine<M> {
         path: std::sync::Arc<[vdm_topology::EdgeId]>,
         next: usize,
     ) -> bool {
-        let dp = self.data_plane.as_mut().expect("hop events need a data plane");
+        let dp = self
+            .data_plane
+            .as_mut()
+            .expect("hop events need a data plane");
         match dp.transit_hop(self.now, path[next]) {
             Ok(arrival) => {
                 if next + 1 == path.len() {
@@ -475,5 +556,89 @@ mod tests {
     fn self_send_rejected() {
         let mut eng = Engine::new(two_host_space(0.0), 1);
         eng.send(HostId(0), HostId(0), 0u32, SendClass::Control);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_trace_identical() {
+        let run = |with_plan: bool| {
+            let mut eng = Engine::new(two_host_space(0.3), 7);
+            if with_plan {
+                eng.set_fault_plan(crate::faults::FaultPlan::new(99));
+            }
+            let mut w = fresh_world(20);
+            eng.send(HostId(0), HostId(1), 20, SendClass::Control);
+            for i in 0..50 {
+                eng.send(HostId(0), HostId(1), 999, SendClass::Data);
+                eng.set_timer(HostId(0), SimTime::from_ms(i as f64), i);
+            }
+            eng.run_to_idle(&mut w);
+            (w.deliveries, w.timers, eng.counters())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fault_layer_drops_control_during_blackout() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        eng.set_fault_plan(FaultPlan::with_events(
+            1,
+            vec![FaultEvent::LinkFlap {
+                a: HostId(0),
+                b: HostId(1),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1),
+            }],
+        ));
+        let mut w = fresh_world(0);
+        assert!(!eng.send(HostId(0), HostId(1), 999, SendClass::Control));
+        eng.run_to_idle(&mut w);
+        assert!(w.deliveries.is_empty());
+        assert_eq!(eng.counters().faults_dropped, 1);
+    }
+
+    #[test]
+    fn fault_layer_duplicates_messages() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        eng.set_fault_plan(FaultPlan::with_events(
+            1,
+            vec![FaultEvent::MsgFaults {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(10),
+                drop_p: 0.0,
+                dup_p: 1.0,
+                reorder_p: 0.0,
+                reorder_max: SimTime::from_ms(50.0),
+                spike_p: 0.0,
+                spike: SimTime::ZERO,
+            }],
+        ));
+        let mut w = fresh_world(0);
+        assert!(eng.send(HostId(0), HostId(1), 999, SendClass::Control));
+        eng.run_to_idle(&mut w);
+        assert_eq!(w.deliveries.len(), 2);
+        assert_eq!(eng.counters().faults_duplicated, 1);
+        assert_eq!(eng.counters().delivered, 2);
+    }
+
+    #[test]
+    fn slowdown_stretches_inbound_delay() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let mut eng = Engine::new(two_host_space(0.0), 1);
+        eng.set_fault_plan(FaultPlan::with_events(
+            1,
+            vec![FaultEvent::Slowdown {
+                host: HostId(1),
+                factor: 10.0,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1),
+            }],
+        ));
+        let mut w = fresh_world(0);
+        eng.send(HostId(0), HostId(1), 999, SendClass::Control);
+        eng.run_to_idle(&mut w);
+        // One-way latency is 5 ms; the slowdown makes it 50 ms.
+        assert_eq!(w.deliveries, vec![(SimTime::from_ms(50.0), HostId(1))]);
     }
 }

@@ -1,0 +1,524 @@
+//! Deterministic fault injection for the discrete-event engine.
+//!
+//! A [`FaultPlan`] is a seeded schedule of timed fault events applied at
+//! the underlay send hook ([`crate::Engine::send`]):
+//!
+//! * [`FaultEvent::LinkFlap`] — a host pair loses connectivity for a
+//!   window (both directions, both message classes);
+//! * [`FaultEvent::Partition`] — the host set is bisected for a window;
+//!   messages crossing the cut are dropped;
+//! * [`FaultEvent::MsgFaults`] — probabilistic message-level faults
+//!   inside a window: drops, duplicates, bounded reordering delays, and
+//!   fixed delay spikes;
+//! * [`FaultEvent::Slowdown`] — a host processes inbound traffic with a
+//!   multiplicative delay (modelling CPU contention).
+//!
+//! All randomness comes from the plan's own RNG, seeded at construction,
+//! so identical seeds give identical fault decisions — and the engine's
+//! RNG stream is untouched, so a run with no plan installed is
+//! byte-identical to a run on an engine that never heard of faults.
+//! [`FaultPlan::fate`] consumes RNG only while a [`FaultEvent::MsgFaults`]
+//! window is active.
+
+use crate::time::SimTime;
+use crate::underlay::HostId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One timed fault in a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Host pair `a`–`b` is blacked out during `[from, until)`.
+    LinkFlap {
+        a: HostId,
+        b: HostId,
+        from: SimTime,
+        until: SimTime,
+    },
+    /// During `[from, until)` messages between `side` and its complement
+    /// are dropped. `side` is kept sorted for binary search.
+    Partition {
+        side: Vec<HostId>,
+        from: SimTime,
+        until: SimTime,
+    },
+    /// During `[from, until)` every message independently suffers:
+    /// drop with `drop_p`; duplication with `dup_p` (the copy arrives
+    /// after an extra uniform delay in `[0, reorder_max]`); an extra
+    /// uniform delay in `[0, reorder_max]` with `reorder_p` (reordering
+    /// it behind later traffic, but within the bound); a fixed `spike`
+    /// delay with `spike_p`.
+    MsgFaults {
+        from: SimTime,
+        until: SimTime,
+        drop_p: f64,
+        dup_p: f64,
+        reorder_p: f64,
+        reorder_max: SimTime,
+        spike_p: f64,
+        spike: SimTime,
+    },
+    /// During `[from, until)` traffic delivered to `host` takes
+    /// `factor`× its sampled transit delay.
+    Slowdown {
+        host: HostId,
+        factor: f64,
+        from: SimTime,
+        until: SimTime,
+    },
+}
+
+impl FaultEvent {
+    fn window(&self) -> (SimTime, SimTime) {
+        match self {
+            FaultEvent::LinkFlap { from, until, .. }
+            | FaultEvent::Partition { from, until, .. }
+            | FaultEvent::MsgFaults { from, until, .. }
+            | FaultEvent::Slowdown { from, until, .. } => (*from, *until),
+        }
+    }
+
+    fn active(&self, now: SimTime) -> bool {
+        let (from, until) = self.window();
+        now >= from && now < until
+    }
+}
+
+/// What the fault layer decided for one message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SendFate {
+    /// Message never arrives.
+    pub dropped: bool,
+    /// Extra transit delay on top of the underlay sample.
+    pub extra_delay: SimTime,
+    /// If set, a second copy is delivered with this extra delay.
+    pub duplicate: Option<SimTime>,
+}
+
+impl SendFate {
+    const CLEAN: SendFate = SendFate {
+        dropped: false,
+        extra_delay: SimTime::ZERO,
+        duplicate: None,
+    };
+}
+
+/// Parameters for [`FaultPlan::generate`]: how many faults of each class
+/// to scatter over `[start, end)` and how severe to make them.
+#[derive(Clone, Debug)]
+pub struct ChaosSpec {
+    /// Earliest fault onset (leave warmup undisturbed).
+    pub start: SimTime,
+    /// All faults end by here.
+    pub end: SimTime,
+    /// Number of link flap events.
+    pub link_flaps: usize,
+    /// Flap duration range in seconds.
+    pub flap_secs: (f64, f64),
+    /// Number of partition events.
+    pub partitions: usize,
+    /// Partition duration range in seconds.
+    pub partition_secs: (f64, f64),
+    /// Number of message-fault windows.
+    pub msg_windows: usize,
+    /// Message-fault window duration range in seconds.
+    pub msg_window_secs: (f64, f64),
+    /// Per-message drop probability inside a window.
+    pub drop_p: f64,
+    /// Per-message duplication probability inside a window.
+    pub dup_p: f64,
+    /// Per-message reorder probability inside a window.
+    pub reorder_p: f64,
+    /// Reorder delay bound in milliseconds.
+    pub reorder_max_ms: f64,
+    /// Per-message delay-spike probability inside a window.
+    pub spike_p: f64,
+    /// Delay spike magnitude in milliseconds.
+    pub spike_ms: f64,
+    /// Number of node slowdown events.
+    pub slowdowns: usize,
+    /// Slowdown duration range in seconds.
+    pub slowdown_secs: (f64, f64),
+    /// Slowdown factor range (multiplies inbound transit delay).
+    pub slowdown_factor: (f64, f64),
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            start: SimTime::from_secs(120),
+            end: SimTime::from_secs(300),
+            link_flaps: 4,
+            flap_secs: (5.0, 20.0),
+            partitions: 1,
+            partition_secs: (20.0, 30.0),
+            msg_windows: 2,
+            msg_window_secs: (10.0, 30.0),
+            drop_p: 0.05,
+            dup_p: 0.10,
+            reorder_p: 0.10,
+            reorder_max_ms: 200.0,
+            spike_p: 0.02,
+            spike_ms: 500.0,
+            slowdowns: 2,
+            slowdown_secs: (10.0, 30.0),
+            slowdown_factor: (2.0, 5.0),
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of fault events.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// Empty plan; all fault decisions will flow from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x0066_6175_6c74), // "fault"
+        }
+    }
+
+    /// Plan with a fixed event list.
+    pub fn with_events(seed: u64, events: Vec<FaultEvent>) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        for ev in events {
+            plan.push(ev);
+        }
+        plan
+    }
+
+    /// Append one event (partition sides are normalized to sorted order).
+    pub fn push(&mut self, mut event: FaultEvent) {
+        if let FaultEvent::Partition { side, .. } = &mut event {
+            side.sort_unstable();
+            side.dedup();
+        }
+        self.events.push(event);
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Randomized plan over `hosts` following `spec`, fully determined by
+    /// `seed`. Partitions bisect the host set roughly in half; flaps and
+    /// slowdowns pick uniform hosts.
+    pub fn generate(spec: &ChaosSpec, hosts: &[HostId], seed: u64) -> Self {
+        assert!(hosts.len() >= 2, "chaos needs at least two hosts");
+        assert!(spec.end > spec.start, "chaos window is empty");
+        let mut plan = FaultPlan::new(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0063_6861_6f73); // "chaos"
+        let span_s = (spec.end - spec.start).as_secs();
+
+        let window = |rng: &mut StdRng, len_range: (f64, f64)| {
+            let len = rng.gen_range(len_range.0..len_range.1.max(len_range.0 + 1e-9));
+            let latest = (span_s - len).max(0.0);
+            let off = rng.gen_range(0.0..latest.max(1e-9));
+            let from = spec.start + SimTime::from_ms(off * 1000.0);
+            (from, from + SimTime::from_ms(len * 1000.0))
+        };
+
+        for _ in 0..spec.link_flaps {
+            let (from, until) = window(&mut rng, spec.flap_secs);
+            let a = hosts[rng.gen_range(0..hosts.len())];
+            let mut b = hosts[rng.gen_range(0..hosts.len())];
+            while b == a {
+                b = hosts[rng.gen_range(0..hosts.len())];
+            }
+            plan.push(FaultEvent::LinkFlap { a, b, from, until });
+        }
+        for _ in 0..spec.partitions {
+            let (from, until) = window(&mut rng, spec.partition_secs);
+            let mut pool: Vec<HostId> = hosts.to_vec();
+            // Fisher-Yates so the cut is uniform over bisections.
+            for i in (1..pool.len()).rev() {
+                pool.swap(i, rng.gen_range(0..=i));
+            }
+            let side = pool[..pool.len() / 2].to_vec();
+            plan.push(FaultEvent::Partition { side, from, until });
+        }
+        for _ in 0..spec.msg_windows {
+            let (from, until) = window(&mut rng, spec.msg_window_secs);
+            plan.push(FaultEvent::MsgFaults {
+                from,
+                until,
+                drop_p: spec.drop_p,
+                dup_p: spec.dup_p,
+                reorder_p: spec.reorder_p,
+                reorder_max: SimTime::from_ms(spec.reorder_max_ms),
+                spike_p: spec.spike_p,
+                spike: SimTime::from_ms(spec.spike_ms),
+            });
+        }
+        for _ in 0..spec.slowdowns {
+            let (from, until) = window(&mut rng, spec.slowdown_secs);
+            let host = hosts[rng.gen_range(0..hosts.len())];
+            let factor = rng.gen_range(
+                spec.slowdown_factor.0..spec.slowdown_factor.1.max(spec.slowdown_factor.0 + 1e-9),
+            );
+            plan.push(FaultEvent::Slowdown {
+                host,
+                factor,
+                from,
+                until,
+            });
+        }
+        plan
+    }
+
+    /// Decide the fate of a `from → to` message sent at `now`.
+    ///
+    /// Blackouts (flaps, partitions) are checked first and consume no
+    /// randomness; message-level faults draw from the plan's RNG only
+    /// while one of their windows is active.
+    pub fn fate(&mut self, now: SimTime, from: HostId, to: HostId) -> SendFate {
+        let mut fate = SendFate::CLEAN;
+        for ev in &self.events {
+            if !ev.active(now) {
+                continue;
+            }
+            match ev {
+                FaultEvent::LinkFlap { a, b, .. } => {
+                    if (from == *a && to == *b) || (from == *b && to == *a) {
+                        fate.dropped = true;
+                        return fate;
+                    }
+                }
+                FaultEvent::Partition { side, .. } => {
+                    if side.binary_search(&from).is_ok() != side.binary_search(&to).is_ok() {
+                        fate.dropped = true;
+                        return fate;
+                    }
+                }
+                FaultEvent::MsgFaults {
+                    drop_p,
+                    dup_p,
+                    reorder_p,
+                    reorder_max,
+                    spike_p,
+                    spike,
+                    ..
+                } => {
+                    if *drop_p > 0.0 && self.rng.gen_bool(*drop_p) {
+                        fate.dropped = true;
+                        return fate;
+                    }
+                    if *dup_p > 0.0 && self.rng.gen_bool(*dup_p) {
+                        let us = (self.rng.gen::<f64>() * reorder_max.0 as f64) as u64;
+                        fate.duplicate = Some(SimTime(us));
+                    }
+                    if *reorder_p > 0.0 && self.rng.gen_bool(*reorder_p) {
+                        let us = (self.rng.gen::<f64>() * reorder_max.0 as f64) as u64;
+                        fate.extra_delay += SimTime(us);
+                    }
+                    if *spike_p > 0.0 && self.rng.gen_bool(*spike_p) {
+                        fate.extra_delay += *spike;
+                    }
+                }
+                FaultEvent::Slowdown { .. } => {}
+            }
+        }
+        fate
+    }
+
+    /// Multiplicative inbound delay factor for `host` at `now` (product
+    /// of all active slowdowns; `1.0` when none). Consumes no randomness.
+    pub fn slowdown_factor(&self, now: SimTime, host: HostId) -> f64 {
+        let mut f = 1.0;
+        for ev in &self.events {
+            if let FaultEvent::Slowdown {
+                host: h, factor, ..
+            } = ev
+            {
+                if *h == host && ev.active(now) {
+                    f *= *factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// Latest `until` over all events ([`SimTime::ZERO`] when empty);
+    /// handy for sizing recovery observation windows.
+    pub fn horizon(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|ev| ev.window().1)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    #[test]
+    fn flap_blacks_out_pair_both_directions_inside_window() {
+        let mut plan = FaultPlan::with_events(
+            1,
+            vec![FaultEvent::LinkFlap {
+                a: HostId(1),
+                b: HostId(2),
+                from: SimTime::from_secs(10),
+                until: SimTime::from_secs(20),
+            }],
+        );
+        let t = SimTime::from_secs(15);
+        assert!(plan.fate(t, HostId(1), HostId(2)).dropped);
+        assert!(plan.fate(t, HostId(2), HostId(1)).dropped);
+        assert!(!plan.fate(t, HostId(1), HostId(3)).dropped);
+        assert!(
+            !plan
+                .fate(SimTime::from_secs(9), HostId(1), HostId(2))
+                .dropped
+        );
+        assert!(
+            !plan
+                .fate(SimTime::from_secs(20), HostId(1), HostId(2))
+                .dropped
+        );
+    }
+
+    #[test]
+    fn partition_drops_only_cut_crossing_messages() {
+        let mut plan = FaultPlan::with_events(
+            1,
+            vec![FaultEvent::Partition {
+                side: vec![HostId(3), HostId(0), HostId(1)], // normalized on push
+                from: SimTime::from_secs(0),
+                until: SimTime::from_secs(30),
+            }],
+        );
+        let t = SimTime::from_secs(5);
+        assert!(plan.fate(t, HostId(0), HostId(5)).dropped);
+        assert!(plan.fate(t, HostId(5), HostId(3)).dropped);
+        assert!(!plan.fate(t, HostId(0), HostId(1)).dropped);
+        assert!(!plan.fate(t, HostId(4), HostId(5)).dropped);
+    }
+
+    #[test]
+    fn msg_faults_draw_rng_only_inside_window() {
+        let mk = || {
+            FaultPlan::with_events(
+                7,
+                vec![FaultEvent::MsgFaults {
+                    from: SimTime::from_secs(10),
+                    until: SimTime::from_secs(20),
+                    drop_p: 0.5,
+                    dup_p: 0.5,
+                    reorder_p: 0.5,
+                    reorder_max: SimTime::from_ms(100.0),
+                    spike_p: 0.5,
+                    spike: SimTime::from_ms(500.0),
+                }],
+            )
+        };
+        // Outside the window: clean fate, no RNG consumed — two plans
+        // stay in lockstep regardless of how many out-of-window calls
+        // one of them served.
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(
+                a.fate(SimTime::from_secs(5), HostId(0), HostId(1)),
+                SendFate::CLEAN
+            );
+        }
+        let t = SimTime::from_secs(15);
+        for _ in 0..50 {
+            assert_eq!(
+                a.fate(t, HostId(0), HostId(1)),
+                b.fate(t, HostId(0), HostId(1))
+            );
+        }
+    }
+
+    #[test]
+    fn msg_faults_produce_all_fault_kinds() {
+        let mut plan = FaultPlan::with_events(
+            3,
+            vec![FaultEvent::MsgFaults {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1000),
+                drop_p: 0.2,
+                dup_p: 0.2,
+                reorder_p: 0.2,
+                reorder_max: SimTime::from_ms(100.0),
+                spike_p: 0.2,
+                spike: SimTime::from_ms(500.0),
+            }],
+        );
+        let (mut drops, mut dups, mut delays) = (0, 0, 0);
+        for i in 0..1000u64 {
+            let fate = plan.fate(SimTime::from_secs(i % 900), HostId(0), HostId(1));
+            drops += fate.dropped as u32;
+            dups += fate.duplicate.is_some() as u32;
+            delays += (fate.extra_delay > SimTime::ZERO) as u32;
+        }
+        assert!(drops > 100, "drops {drops}");
+        assert!(dups > 50, "dups {dups}");
+        assert!(delays > 100, "delays {delays}");
+    }
+
+    #[test]
+    fn slowdown_factor_stacks_and_expires() {
+        let plan = FaultPlan::with_events(
+            1,
+            vec![
+                FaultEvent::Slowdown {
+                    host: HostId(4),
+                    factor: 3.0,
+                    from: SimTime::from_secs(0),
+                    until: SimTime::from_secs(100),
+                },
+                FaultEvent::Slowdown {
+                    host: HostId(4),
+                    factor: 2.0,
+                    from: SimTime::from_secs(50),
+                    until: SimTime::from_secs(100),
+                },
+            ],
+        );
+        assert_eq!(plan.slowdown_factor(SimTime::from_secs(10), HostId(4)), 3.0);
+        assert_eq!(plan.slowdown_factor(SimTime::from_secs(60), HostId(4)), 6.0);
+        assert_eq!(
+            plan.slowdown_factor(SimTime::from_secs(100), HostId(4)),
+            1.0
+        );
+        assert_eq!(plan.slowdown_factor(SimTime::from_secs(60), HostId(5)), 1.0);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let spec = ChaosSpec::default();
+        let a = FaultPlan::generate(&spec, &hosts(24), 11);
+        let b = FaultPlan::generate(&spec, &hosts(24), 11);
+        let c = FaultPlan::generate(&spec, &hosts(24), 12);
+        assert_eq!(a.events(), b.events());
+        assert_ne!(a.events(), c.events());
+        assert_eq!(
+            a.events().len(),
+            spec.link_flaps + spec.partitions + spec.msg_windows + spec.slowdowns
+        );
+        assert!(a.horizon() <= spec.end);
+        for ev in a.events() {
+            let (from, until) = (ev.window().0, ev.window().1);
+            assert!(from >= spec.start && until <= spec.end && from < until);
+        }
+    }
+}

@@ -11,7 +11,10 @@
 //!   (router graph + delay-shortest routes, per-link accounting for the
 //!   stress metric — the NS-2 analogue) and [`underlay::LatencySpace`]
 //!   (host-to-host metric space with jitter, inflation and lossy paths —
-//!   the PlanetLab analogue).
+//!   the PlanetLab analogue);
+//! * [`faults`] — seeded fault-injection schedules (link flaps,
+//!   partitions, message-level faults, node slowdowns) applied at the
+//!   engine's send hook for chaos experiments.
 //!
 //! The engine is strictly deterministic: events are ordered by
 //! `(time, sequence-number)` and all randomness flows from one seeded RNG,
@@ -20,10 +23,12 @@
 
 pub mod dataplane;
 pub mod engine;
+pub mod faults;
 pub mod time;
 pub mod underlay;
 
 pub use dataplane::{DataPlane, DataPlaneConfig};
 pub use engine::{Engine, SendClass, World};
+pub use faults::{ChaosSpec, FaultEvent, FaultPlan, SendFate};
 pub use time::SimTime;
 pub use underlay::{HostId, LatencySpace, RoutedUnderlay, Underlay};

@@ -144,7 +144,10 @@ impl Underlay for RoutedUnderlay {
 
     fn path_loss(&self, a: HostId, b: HostId) -> f64 {
         let mut pass = 1.0;
-        for e in self.apsp.path_edges(&self.graph, self.node_of(a), self.node_of(b)) {
+        for e in self
+            .apsp
+            .path_edges(&self.graph, self.node_of(a), self.node_of(b))
+        {
             pass *= 1.0 - self.graph.edge(e).attrs.loss;
         }
         1.0 - pass
@@ -217,10 +220,7 @@ impl LatencySpace {
                     assert!(v == 0.0, "diagonal must be zero");
                 } else {
                     assert!(v > 0.0, "RTT {i}->{j} must be positive");
-                    assert!(
-                        (v - rtt[j][i]).abs() < 1e-6,
-                        "RTT matrix must be symmetric"
-                    );
+                    assert!((v - rtt[j][i]).abs() < 1e-6, "RTT matrix must be symmetric");
                 }
                 flat[i * n + j] = v as f32;
             }

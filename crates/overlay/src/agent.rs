@@ -55,6 +55,15 @@ pub struct AgentConfig {
     pub data_timeout: Option<SimTime>,
     /// Delay before retrying after a completely failed walk.
     pub retry_delay: SimTime,
+    /// Exponential multiplier on `retry_delay` per consecutive failed
+    /// walk (`1.0` keeps the fixed delay; chaos runs back off so a
+    /// partitioned node doesn't flood the cut). Jitter follows
+    /// `walk.jitter_frac`.
+    pub retry_backoff: f64,
+    /// Record a delivery-gap sample when the spacing between two
+    /// accepted stream chunks reaches this threshold (recovery
+    /// observability for chaos runs); `None` disables recording.
+    pub gap_threshold: Option<SimTime>,
     /// Amplitude of the uniform noise on loss-probe estimates
     /// (loss-based virtual distances only).
     pub loss_probe_noise: f64,
@@ -71,6 +80,8 @@ impl Default for AgentConfig {
             maintain_root_path: false,
             data_timeout: Some(SimTime::from_secs(30)),
             retry_delay: SimTime::from_secs(5),
+            retry_backoff: 1.0,
+            gap_threshold: None,
             loss_probe_noise: 0.0,
             heartbeat: None,
         }
@@ -158,8 +169,13 @@ pub trait AgentFactory {
     /// The agent type this factory produces.
     type Agent: OverlayAgent;
     /// Create the agent for `host` (its `incarnation`-th session entry).
-    fn make(&self, host: HostId, source: HostId, degree_limit: u32, incarnation: u32)
-        -> Self::Agent;
+    fn make(
+        &self,
+        host: HostId,
+        source: HostId,
+        degree_limit: u32,
+        incarnation: u32,
+    ) -> Self::Agent;
 }
 
 /// The generic protocol peer; `P` supplies the protocol behaviour.
@@ -182,6 +198,15 @@ pub struct ProtocolAgent<P: WalkPolicy> {
     last_data_at: SimTime,
     /// Last heartbeat (or admission) time per child.
     hb_seen: Vec<(HostId, SimTime)>,
+    /// Consecutive failed walks (drives retry backoff).
+    fail_streak: u32,
+    /// Time of the last accepted stream chunk, across reconnections
+    /// (delivery-gap observability; `last_data_at` is reset on adoption
+    /// to give the watchdog a grace period, so it can't measure gaps).
+    last_chunk_at: Option<SimTime>,
+    /// Highest [`Msg::ParentChange`] generation stamp seen per sender:
+    /// duplicated or stale reordered splice notices are dropped.
+    pc_seen: Vec<(HostId, u64)>,
 }
 
 impl<P: WalkPolicy> ProtocolAgent<P> {
@@ -208,7 +233,33 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             hb_armed: false,
             last_data_at: SimTime::ZERO,
             hb_seen: Vec::new(),
+            fail_streak: 0,
+            last_chunk_at: None,
+            pc_seen: Vec::new(),
         }
+    }
+
+    /// Fresh monotone generation stamp for outgoing control messages
+    /// (shares the walk-nonce namespace, which `start_walk` re-bases
+    /// past whatever we hand out here).
+    fn stamp(&mut self) -> u64 {
+        let g = self.gen_next;
+        self.gen_next += 1;
+        g
+    }
+
+    /// Retry delay with exponential backoff over the current fail
+    /// streak and optional jitter.
+    fn schedule_retry(&mut self, ctx: &mut Ctx<'_>) {
+        let d = crate::walk::scaled_delay(
+            self.cfg.retry_delay,
+            self.cfg.retry_backoff,
+            self.fail_streak,
+            self.cfg.walk.jitter_frac,
+            ctx,
+        );
+        self.fail_streak = self.fail_streak.saturating_add(1);
+        ctx.timer(d, RETRY_TOKEN);
     }
 
     /// Record child liveness (admission counts as a beacon).
@@ -270,6 +321,7 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         }
         self.state.parent = None;
         self.orphaned_at = Some(ctx.now());
+        ctx.stats.recovery.orphan_events += 1;
         let start = self.state.grandparent.unwrap_or(self.source);
         self.start_walk(ctx, WalkPurpose::Reconnect, start);
     }
@@ -335,10 +387,12 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                 }
             }
             self.note_child_alive(c, ctx.now());
+            let gen = self.stamp();
             ctx.send(
                 c,
                 Msg::ParentChange {
                     new_grandparent: Some(parent),
+                    gen,
                 },
             );
         }
@@ -353,6 +407,7 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         }
         self.broadcast_root_path(ctx);
         self.ever_connected = true;
+        self.fail_streak = 0;
         self.last_data_at = ctx.now();
         self.arm_refine(ctx);
         self.arm_data_watch(ctx);
@@ -368,33 +423,71 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                 root_path,
                 adopted,
                 vdist_to_parent,
-            } => match walk.purpose {
-                WalkPurpose::Join => {
-                    ctx.stats
-                        .startup_s
-                        .push((ctx.now() - walk.started_at).as_secs());
-                    self.adopt_parent(ctx, parent, grandparent, root_path, adopted, vdist_to_parent);
-                }
-                WalkPurpose::Reconnect => {
-                    ctx.stats
-                        .reconnection_s
-                        .push((ctx.now() - walk.started_at).as_secs());
-                    self.adopt_parent(ctx, parent, grandparent, root_path, adopted, vdist_to_parent);
-                }
-                WalkPurpose::Refine => {
-                    if Some(parent) == self.state.parent {
-                        // Already the best parent; nothing to change.
-                        return;
+            } => {
+                if self.state.has_child(parent) {
+                    // Mutual-adoption race: while our request was in
+                    // flight the accepted parent became (or stayed) our
+                    // child — adopting it would close a cycle. Undo the
+                    // acceptor's bookkeeping and treat the walk as
+                    // failed.
+                    ctx.send(parent, Msg::ChildLeave);
+                    if walk.purpose != WalkPurpose::Refine {
+                        self.schedule_retry(ctx);
                     }
-                    if let Some(old) = self.state.parent {
-                        ctx.send(old, Msg::ChildLeave);
-                    }
-                    self.adopt_parent(ctx, parent, grandparent, root_path, adopted, vdist_to_parent);
+                    return;
                 }
-            },
+                match walk.purpose {
+                    WalkPurpose::Join => {
+                        ctx.stats
+                            .startup_s
+                            .push((ctx.now() - walk.started_at).as_secs());
+                        self.adopt_parent(
+                            ctx,
+                            parent,
+                            grandparent,
+                            root_path,
+                            adopted,
+                            vdist_to_parent,
+                        );
+                    }
+                    WalkPurpose::Reconnect => {
+                        let took = (ctx.now() - walk.started_at).as_secs();
+                        ctx.stats.reconnection_s.push(took);
+                        ctx.stats
+                            .recovery
+                            .reconnections
+                            .push((ctx.now().as_secs(), took));
+                        self.adopt_parent(
+                            ctx,
+                            parent,
+                            grandparent,
+                            root_path,
+                            adopted,
+                            vdist_to_parent,
+                        );
+                    }
+                    WalkPurpose::Refine => {
+                        if Some(parent) == self.state.parent {
+                            // Already the best parent; nothing to change.
+                            return;
+                        }
+                        if let Some(old) = self.state.parent {
+                            ctx.send(old, Msg::ChildLeave);
+                        }
+                        self.adopt_parent(
+                            ctx,
+                            parent,
+                            grandparent,
+                            root_path,
+                            adopted,
+                            vdist_to_parent,
+                        );
+                    }
+                }
+            }
             WalkOutcome::Failed => {
                 if walk.purpose != WalkPurpose::Refine {
-                    ctx.timer(self.cfg.retry_delay, RETRY_TOKEN);
+                    self.schedule_retry(ctx);
                 }
             }
         }
@@ -408,10 +501,16 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         kind: ConnKind,
         vdist: crate::VDist,
     ) {
-        // Dark or detached peers must not accept newcomers; and a
-        // root-path hit means the requester is our ancestor — accepting
-        // would loop the tree.
+        // Dark or detached peers must not accept newcomers; a node
+        // mid-walk must not either (two refining siblings would accept
+        // each other concurrently and close a 2-cycle — protocols
+        // without root paths have no ancestor check to catch it); our
+        // own parent as a child is a cycle outright; and a root-path
+        // hit means the requester is our ancestor — accepting would
+        // loop the tree.
         if !self.state.connected()
+            || self.walk.is_some()
+            || Some(from) == self.state.parent
             || (self.cfg.maintain_root_path && self.state.root_path.contains(&from))
         {
             ctx.send(
@@ -522,6 +621,9 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
         }
         self.state.reset();
         self.walk = None;
+        self.fail_streak = 0;
+        self.last_chunk_at = None;
+        self.pc_seen.clear();
     }
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg) {
@@ -556,10 +658,28 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                     }
                 }
             }
-            Msg::ParentChange { new_grandparent } => {
+            Msg::ParentChange {
+                new_grandparent,
+                gen,
+            } => {
                 // A splice: `from` claims to be our new parent and our
-                // old parent should now be our grandparent. Validate to
-                // reject stale splices.
+                // old parent should now be our grandparent. The
+                // generation stamp makes handling idempotent: a
+                // duplicated or reordered-stale copy is dropped here
+                // instead of being misread as a bogus splice (which
+                // would make us ChildLeave our own parent).
+                let seen = self.pc_seen.iter_mut().find(|(h, _)| *h == from);
+                match seen {
+                    Some(e) if gen <= e.1 => return,
+                    Some(e) => e.1 = gen,
+                    None => self.pc_seen.push((from, gen)),
+                }
+                if Some(from) == self.state.parent {
+                    // Splice already applied (e.g. the first copy of a
+                    // duplicated notice arrived out of stamp order):
+                    // nothing to change.
+                    return;
+                }
                 if new_grandparent == self.state.parent {
                     self.state.parent = Some(from);
                     self.state.parent_dist = None;
@@ -614,7 +734,18 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
             Msg::Data { seq } => {
                 if Some(from) == self.state.parent && self.state.accept_seq(seq) {
                     ctx.stats.received[ctx.me.idx()] += 1;
-                    self.last_data_at = ctx.now();
+                    let now = ctx.now();
+                    if let (Some(thr), Some(prev)) = (self.cfg.gap_threshold, self.last_chunk_at) {
+                        let gap = now.saturating_sub(prev);
+                        if gap >= thr {
+                            ctx.stats
+                                .recovery
+                                .delivery_gaps
+                                .push((now.as_secs(), gap.as_secs()));
+                        }
+                    }
+                    self.last_chunk_at = Some(now);
+                    self.last_data_at = now;
                     self.forward_data(ctx, seq);
                 }
             }
@@ -680,15 +811,16 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                 }
             }
             RETRY_TOKEN
-                if !self.state.connected() && !self.state.is_source && self.walk.is_none() => {
-                    let purpose = if self.ever_connected {
-                        WalkPurpose::Reconnect
-                    } else {
-                        WalkPurpose::Join
-                    };
-                    let start = self.state.grandparent.unwrap_or(self.source);
-                    self.start_walk(ctx, purpose, start);
-                }
+                if !self.state.connected() && !self.state.is_source && self.walk.is_none() =>
+            {
+                let purpose = if self.ever_connected {
+                    WalkPurpose::Reconnect
+                } else {
+                    WalkPurpose::Join
+                };
+                let start = self.state.grandparent.unwrap_or(self.source);
+                self.start_walk(ctx, purpose, start);
+            }
             _ => {}
         }
     }
@@ -809,8 +941,9 @@ mod tests {
     }
 
     fn take_to(world: &mut Recorder, to: HostId) -> Vec<Msg> {
-        let (mine, rest): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut world.outbox).into_iter().partition(|(t, _)| *t == to);
+        let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut world.outbox)
+            .into_iter()
+            .partition(|(t, _)| *t == to);
         world.outbox = rest;
         mine.into_iter().map(|(_, m)| m).collect()
     }
@@ -955,6 +1088,7 @@ mod tests {
             HostId(6),
             Msg::ParentChange {
                 new_grandparent: Some(HostId(1)),
+                gen: 1,
             },
         );
         assert_eq!(w.agent.state.parent, Some(HostId(6)));
@@ -971,10 +1105,101 @@ mod tests {
             HostId(4),
             Msg::ParentChange {
                 new_grandparent: Some(HostId(9)),
+                gen: 1,
             },
         );
         assert_eq!(w.agent.state.parent, Some(HostId(6)));
         assert_eq!(take_to(&mut w, HostId(4)), vec![Msg::ChildLeave]);
+    }
+
+    /// A duplicated ParentChange must not make the child ChildLeave its
+    /// own (new) parent: the second copy carries the same stamp and is
+    /// dropped.
+    #[test]
+    fn duplicated_parent_change_is_idempotent() {
+        let (mut eng, mut w) = connected_agent();
+        let splice = Msg::ParentChange {
+            new_grandparent: Some(HostId(1)),
+            gen: 7,
+        };
+        inject(&mut eng, &mut w, HostId(6), splice.clone());
+        assert_eq!(w.agent.state.parent, Some(HostId(6)));
+        let _ = take_to(&mut w, HostId(3));
+        // The duplicate: no state change, and crucially no ChildLeave
+        // to host 6.
+        inject(&mut eng, &mut w, HostId(6), splice);
+        assert_eq!(w.agent.state.parent, Some(HostId(6)));
+        assert!(take_to(&mut w, HostId(6)).is_empty());
+        // A stale lower-stamped splice from the same sender is dropped
+        // too.
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(6),
+            Msg::ParentChange {
+                new_grandparent: Some(HostId(9)),
+                gen: 3,
+            },
+        );
+        assert_eq!(w.agent.state.parent, Some(HostId(6)));
+        assert!(take_to(&mut w, HostId(6)).is_empty());
+    }
+
+    /// A node with an active walk must reject connection requests:
+    /// accepting while adopting elsewhere is how two refining siblings
+    /// close a 2-cycle.
+    #[test]
+    fn walking_node_rejects_conn_requests() {
+        let (mut eng, mut w) = connected_agent();
+        let mut stats = RunStats::new(8);
+        let mut ctx = Ctx {
+            me: HostId(0),
+            eng: &mut eng,
+            stats: &mut stats,
+            loss_probe_noise: 0.0,
+        };
+        w.agent.start_walk(&mut ctx, WalkPurpose::Refine, HostId(7));
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(5),
+            Msg::ConnReq {
+                nonce: 4,
+                kind: ConnKind::Child,
+                vdist: 1.0,
+            },
+        );
+        assert_eq!(
+            take_to(&mut w, HostId(5)),
+            vec![Msg::ConnResp {
+                nonce: 4,
+                result: ConnResult::Rejected
+            }]
+        );
+    }
+
+    /// Our own parent asking to become our child is a cycle outright.
+    #[test]
+    fn conn_request_from_own_parent_is_rejected() {
+        let (mut eng, mut w) = connected_agent();
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(1),
+            Msg::ConnReq {
+                nonce: 4,
+                kind: ConnKind::Child,
+                vdist: 1.0,
+            },
+        );
+        assert_eq!(
+            take_to(&mut w, HostId(1)),
+            vec![Msg::ConnResp {
+                nonce: 4,
+                result: ConnResult::Rejected
+            }]
+        );
+        assert!(!w.agent.state.has_child(HostId(1)));
     }
 
     #[test]
@@ -1072,10 +1297,18 @@ mod tests {
         let Some(Msg::Ping { nonce: ping_nonce }) = ping.first() else {
             panic!("expected Ping, got {ping:?}");
         };
-        inject(&mut eng, &mut w, HostId(3), Msg::Pong { nonce: *ping_nonce });
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(3),
+            Msg::Pong { nonce: *ping_nonce },
+        );
         // Policy (Attach) fires a ConnReq at the source.
         let conn = take_to(&mut w, HostId(7));
-        let Some(Msg::ConnReq { nonce: cn, kind, .. }) = conn.first() else {
+        let Some(Msg::ConnReq {
+            nonce: cn, kind, ..
+        }) = conn.first()
+        else {
             panic!("expected ConnReq, got {conn:?}");
         };
         assert_eq!(*kind, ConnKind::Child);
@@ -1107,6 +1340,7 @@ mod tests {
                 timeout: SimTime::from_ms(500.0),
                 info_retries: 1,
                 max_restarts: 2,
+                ..crate::walk::WalkConfig::default()
             },
             ..AgentConfig::default()
         };
@@ -1155,8 +1389,14 @@ mod tests {
             Msg::InfoResp {
                 nonce: *nonce,
                 children: vec![
-                    ChildEntry { child: HostId(3), vdist: 5.0 },
-                    ChildEntry { child: HostId(4), vdist: 6.0 },
+                    ChildEntry {
+                        child: HostId(3),
+                        vdist: 5.0,
+                    },
+                    ChildEntry {
+                        child: HostId(4),
+                        vdist: 6.0,
+                    },
                 ],
                 parent: None,
             },

@@ -135,6 +135,12 @@ impl<F: AgentFactory> WorldState<F> {
             },
         );
         let errors = snap.validate(&self.limits).len();
+        if errors > 0 {
+            self.stats
+                .recovery
+                .invariant_violations
+                .push((eng.now().as_secs(), errors));
+        }
 
         let counters = eng.counters();
         let d_control = counters.control_sent - self.last_counters.control_sent;
@@ -307,8 +313,12 @@ impl<F: AgentFactory> Driver<F> {
             last_chunks: 0,
         };
         // The source agent exists for the whole run.
-        world.agents[source.idx()] =
-            Some(world.factory.make(source, source, world.limits[source.idx()], 0));
+        world.agents[source.idx()] = Some(world.factory.make(
+            source,
+            source,
+            world.limits[source.idx()],
+            0,
+        ));
         // Schedule the scenario and the stream.
         for (i, (t, _)) in world.actions.iter().enumerate() {
             eng.schedule_external(*t, i as u64);
@@ -317,6 +327,12 @@ impl<F: AgentFactory> Driver<F> {
             eng.schedule_external(SimTime::ZERO, DATA_TICK);
         }
         Self { eng, world }
+    }
+
+    /// Install a fault-injection schedule (chaos runs); see
+    /// [`vdm_netsim::FaultPlan`]. Must be called before [`Driver::run`].
+    pub fn set_fault_plan(&mut self, plan: vdm_netsim::FaultPlan) {
+        self.eng.set_fault_plan(plan);
     }
 
     /// Execute to the scenario horizon and collect results.
@@ -476,13 +492,7 @@ mod tests {
         assert_eq!(snap.connected_members().len(), 4);
         assert!(snap.validate(&[1; 5]).is_empty());
         // Chain: max depth is 4.
-        let max_depth = snap
-            .depths()
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap();
+        let max_depth = snap.depths().iter().flatten().copied().max().unwrap();
         assert_eq!(max_depth, 4);
     }
 

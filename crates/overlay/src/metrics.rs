@@ -95,7 +95,11 @@ impl TreeMetrics {
             .iter()
             .map(|&m| underlay.one_way_ms(snap.source, m))
             .sum();
-        let usage_normalized = if star_ms > 0.0 { usage_ms / star_ms } else { 0.0 };
+        let usage_normalized = if star_ms > 0.0 {
+            usage_ms / star_ms
+        } else {
+            0.0
+        };
 
         // Stress over physical links (routed underlays only).
         let stress = routed.map(|r| {
@@ -107,12 +111,7 @@ impl TreeMetrics {
                     }
                 }
             }
-            Summary::of(
-                per_link
-                    .iter()
-                    .filter(|&&s| s > 0)
-                    .map(|&s| s as f64),
-            )
+            Summary::of(per_link.iter().filter(|&&s| s > 0).map(|&s| s as f64))
         });
 
         let mean_or_zero = |v: &[f64]| {
@@ -138,10 +137,7 @@ impl TreeMetrics {
 /// Tree cost / MST cost over the source plus all connected members,
 /// under the metric `dist` (§5.4.6 runs this with RTT). Returns `None`
 /// when fewer than 2 connected members exist.
-pub fn mst_ratio(
-    snap: &TreeSnapshot,
-    mut dist: impl FnMut(HostId, HostId) -> f64,
-) -> Option<f64> {
+pub fn mst_ratio(snap: &TreeSnapshot, mut dist: impl FnMut(HostId, HostId) -> f64) -> Option<f64> {
     let depths = snap.depths();
     let mut points: Vec<HostId> = vec![snap.source];
     points.extend(
@@ -207,7 +203,7 @@ mod tests {
         assert_eq!(m.hopcount.max, 3.0);
         assert_eq!(m.hopcount_leaf_mean, 3.0); // only h3 is a leaf
         assert!((m.usage_ms - 30.0).abs() < 1e-9); // 10+10+10
-        // Star usage: 10+20+30 = 60 -> normalized 0.5.
+                                                   // Star usage: 10+20+30 = 60 -> normalized 0.5.
         assert!((m.usage_normalized - 0.5).abs() < 1e-9);
         assert!(m.stress.is_none());
     }
@@ -326,6 +322,7 @@ mod proptests {
         /// the triangle inequality by construction), stretch is ≥ 1
         /// for every receiver, whatever the tree shape.
         #[test]
+        #[allow(clippy::needless_range_loop)]
         fn routed_stretch_never_below_one(seed in 0u64..200) {
             use rand::{rngs::StdRng, Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(seed);
@@ -388,6 +385,7 @@ mod proptests {
 
         /// The MST ratio of any valid snapshot is ≥ 1 under any metric.
         #[test]
+        #[allow(clippy::needless_range_loop)]
         fn mst_ratio_at_least_one(seed in 0u64..200) {
             use rand::{rngs::StdRng, Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);

@@ -117,6 +117,12 @@ pub enum Msg {
     ParentChange {
         /// The child's new grandparent (the new parent's parent).
         new_grandparent: Option<HostId>,
+        /// Sender-side generation stamp, monotone per sender
+        /// incarnation. Receivers drop duplicated copies and stale
+        /// reordered splices by comparing against the highest stamp
+        /// seen from that sender, so the fault layer's duplication and
+        /// reordering cannot corrupt parent/child state.
+        gen: u64,
     },
     /// A node's parent changed; it tells its children their grandparent.
     GrandparentChange {

@@ -84,7 +84,11 @@ impl PeerState {
             slot.1 = vdist;
             return;
         }
-        assert!(self.free_degree() > 0, "degree limit exceeded at {}", self.host);
+        assert!(
+            self.free_degree() > 0,
+            "degree limit exceeded at {}",
+            self.host
+        );
         self.children.push((c, vdist));
     }
 

@@ -34,6 +34,10 @@ pub struct Scenario {
     pub actions: Vec<(SimTime, Action)>,
     /// Simulation horizon.
     pub end: SimTime,
+    /// Seed for randomness derived *from* the schedule (crash
+    /// selection): drawn from the generating scenario RNG, so the
+    /// scenario seed alone fully determines [`Scenario::with_crashes`].
+    pub crash_seed: u64,
 }
 
 /// Parameters for [`Scenario::churn`].
@@ -94,10 +98,7 @@ impl Scenario {
                 // Stagger re-joins a little so the walk traffic is not
                 // one synchronized burst.
                 let jitter = rng.gen_range(0.0..(cfg.slot_s * 0.1));
-                actions.push((
-                    SimTime::from_ms((start + jitter) * 1000.0),
-                    Action::Join(h),
-                ));
+                actions.push((SimTime::from_ms((start + jitter) * 1000.0), Action::Join(h)));
                 inside.push(h);
             }
             // Measure at the end of the slot (≥ 100 s after the churn
@@ -107,7 +108,8 @@ impl Scenario {
         }
 
         let end = SimTime::from_ms((cfg.warmup_s + cfg.slots as f64 * cfg.slot_s + 1.0) * 1000.0);
-        Self::finish(actions, end)
+        let crash_seed = rng.gen();
+        Self::finish(actions, end, crash_seed)
     }
 
     /// Chapter 4 growth scenario: `batches` batches of `batch_size`
@@ -135,12 +137,39 @@ impl Scenario {
             actions.push((t_measure, Action::Measure));
         }
         let end = SimTime::from_ms((batches as f64 * interval_s + 1.0) * 1000.0);
-        Self::finish(actions, end)
+        let crash_seed = rng.gen();
+        Self::finish(actions, end, crash_seed)
     }
 
-    /// Convert a fraction of the leave actions into ungraceful crashes
-    /// (deterministically, by seed). `frac` in `[0, 1]`.
-    pub fn with_crashes(mut self, frac: f64, seed: u64) -> Self {
+    /// Hand-built schedule from explicit actions (sorted and finalized
+    /// like the generated scenarios). Hand-built scenarios have no
+    /// generating RNG, so `crash_seed` starts at 0; set the field
+    /// directly if a different crash stream is wanted.
+    pub fn from_actions(actions: Vec<(SimTime, Action)>, end: SimTime) -> Self {
+        Self::finish(actions, end, 0)
+    }
+
+    /// Convert a fraction of the leave actions into ungraceful crashes.
+    /// Crash selection draws from the scenario's own RNG stream
+    /// ([`Scenario::crash_seed`]), so the seed that generated the
+    /// schedule fully determines the result. `frac` in `[0, 1]`.
+    pub fn with_crashes(self, frac: f64) -> Self {
+        let seed = self.crash_seed;
+        self.convert_crashes(frac, seed)
+    }
+
+    /// Old-signature shim: crash selection from a caller-supplied seed,
+    /// independent of the scenario's RNG stream.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_crashes(frac)` — crash selection now derives \
+                from the scenario's own RNG stream"
+    )]
+    pub fn with_crashes_seeded(self, frac: f64, seed: u64) -> Self {
+        self.convert_crashes(frac, seed)
+    }
+
+    fn convert_crashes(mut self, frac: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&frac));
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0063_7261_7368);
         for (_, a) in self.actions.iter_mut() {
@@ -161,10 +190,14 @@ impl Scenario {
             .count()
     }
 
-    fn finish(mut actions: Vec<(SimTime, Action)>, end: SimTime) -> Self {
+    fn finish(mut actions: Vec<(SimTime, Action)>, end: SimTime, crash_seed: u64) -> Self {
         // Stable sort keeps leave-before-join ordering at equal times.
         actions.sort_by_key(|(t, _)| *t);
-        Self { actions, end }
+        Self {
+            actions,
+            end,
+            crash_seed,
+        }
     }
 
     /// Number of join actions.
@@ -270,6 +303,57 @@ mod tests {
         assert_eq!(sc.num_leaves(), 0);
         assert_eq!(sc.num_joins(), 10);
         assert_eq!(sc.num_measures(), 5);
+    }
+
+    #[test]
+    fn crashes_derive_from_the_scenario_seed_alone() {
+        let cfg = ChurnConfig {
+            members: 12,
+            warmup_s: 10.0,
+            slot_s: 10.0,
+            slots: 4,
+            churn_pct: 25.0,
+        };
+        let a = Scenario::churn(&cfg, &hosts(24), 5).with_crashes(0.5);
+        let b = Scenario::churn(&cfg, &hosts(24), 5).with_crashes(0.5);
+        assert_eq!(a.actions, b.actions, "one seed, one schedule");
+        assert!(a.num_crashes() > 0);
+        // A different scenario seed flips the crash stream too.
+        let c = Scenario::churn(&cfg, &hosts(24), 6);
+        assert_ne!(a.crash_seed, c.crash_seed);
+        // Extremes are exact regardless of the stream.
+        let none = Scenario::churn(&cfg, &hosts(24), 5).with_crashes(0.0);
+        assert_eq!(none.num_crashes(), 0);
+        let all = Scenario::churn(&cfg, &hosts(24), 5).with_crashes(1.0);
+        assert_eq!(all.num_leaves(), 0);
+        assert_eq!(all.num_crashes(), none.num_leaves());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn seeded_crash_shim_matches_old_behaviour() {
+        let cfg = ChurnConfig {
+            members: 12,
+            warmup_s: 10.0,
+            slot_s: 10.0,
+            slots: 4,
+            churn_pct: 25.0,
+        };
+        let a = Scenario::churn(&cfg, &hosts(24), 5).with_crashes_seeded(0.5, 9);
+        let b = Scenario::churn(&cfg, &hosts(24), 5).with_crashes_seeded(0.5, 9);
+        assert_eq!(a.actions, b.actions);
+    }
+
+    #[test]
+    fn from_actions_sorts_and_is_crashable() {
+        let acts = vec![
+            (SimTime::from_secs(10), Action::Leave(HostId(1))),
+            (SimTime::from_secs(5), Action::Join(HostId(1))),
+        ];
+        let sc = Scenario::from_actions(acts, SimTime::from_secs(20));
+        assert!(matches!(sc.actions[0].1, Action::Join(_)));
+        let crashed = sc.with_crashes(1.0);
+        assert_eq!(crashed.num_crashes(), 1);
     }
 
     #[test]

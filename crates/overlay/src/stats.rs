@@ -89,6 +89,43 @@ pub struct SlotMeasurement {
     pub tree_errors: usize,
 }
 
+/// Recovery observability under fault injection: how the control plane
+/// rode out orphanings, partitions and message faults. Collected by the
+/// agents during every run; only chaos runs read it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Times a connected peer lost its parent (graceful leave, watchdog
+    /// firing, or heartbeat prune fallout).
+    pub orphan_events: u64,
+    /// Completed reconnections as `(completed_at_s, took_s)`: when the
+    /// peer re-attached and how long it had been orphaned.
+    pub reconnections: Vec<(f64, f64)>,
+    /// Stream delivery gaps as `(resumed_at_s, gap_s)`, recorded when
+    /// the spacing between two accepted chunks exceeded the agent's
+    /// `gap_threshold` (measures per-fault outage as receivers see it).
+    pub delivery_gaps: Vec<(f64, f64)>,
+    /// Measurement slots that found structural tree errors, as
+    /// `(time_s, error_count)` — tree-invariant violations over time.
+    pub invariant_violations: Vec<(f64, usize)>,
+}
+
+impl RecoveryStats {
+    /// Summary of time-to-reconnect durations.
+    pub fn reconnect_summary(&self) -> Summary {
+        Summary::of(self.reconnections.iter().map(|&(_, d)| d))
+    }
+
+    /// Summary of delivery-gap durations.
+    pub fn gap_summary(&self) -> Summary {
+        Summary::of(self.delivery_gaps.iter().map(|&(_, d)| d))
+    }
+
+    /// Total structural errors observed across all measurement slots.
+    pub fn total_violations(&self) -> usize {
+        self.invariant_violations.iter().map(|&(_, n)| n).sum()
+    }
+}
+
 /// Aggregate statistics of one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -114,6 +151,8 @@ pub struct RunStats {
     pub rejected_conns: u64,
     /// Measurements taken during the run.
     pub measurements: Vec<SlotMeasurement>,
+    /// Fault-recovery observability (chaos runs).
+    pub recovery: RecoveryStats,
 }
 
 impl RunStats {
@@ -173,6 +212,21 @@ mod tests {
         assert!((rs.overall_loss() - 0.1).abs() < 1e-9);
         let empty = RunStats::new(2);
         assert_eq!(empty.overall_loss(), 0.0);
+    }
+
+    #[test]
+    fn recovery_summaries() {
+        let r = RecoveryStats {
+            orphan_events: 3,
+            reconnections: vec![(100.0, 2.0), (150.0, 4.0)],
+            delivery_gaps: vec![(101.0, 6.0)],
+            invariant_violations: vec![(60.0, 1), (120.0, 2)],
+        };
+        assert_eq!(r.reconnect_summary().mean, 3.0);
+        assert_eq!(r.reconnect_summary().count, 2);
+        assert_eq!(r.gap_summary().count, 1);
+        assert_eq!(r.total_violations(), 3);
+        assert_eq!(RecoveryStats::default().total_violations(), 0);
     }
 
     #[test]

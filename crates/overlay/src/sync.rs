@@ -161,7 +161,8 @@ impl<D: Fn(HostId, HostId) -> VDist> SyncOverlay<D> {
                     let mut target = current;
                     loop {
                         contacted += 1;
-                        if self.peer(target).free_degree() > 0 || self.peer(target).has_child(joiner)
+                        if self.peer(target).free_degree() > 0
+                            || self.peer(target).has_child(joiner)
                         {
                             let d = (self.dist)(joiner, target);
                             self.peer_mut(target).add_child(joiner, d);

@@ -148,7 +148,10 @@ impl TreeSnapshot {
         for &m in &self.members {
             if let Some(p) = self.parent_of(m) {
                 if p != self.source && !is_member[p.idx()] {
-                    errors.push(TreeError::PhantomParent { child: m, parent: p });
+                    errors.push(TreeError::PhantomParent {
+                        child: m,
+                        parent: p,
+                    });
                 }
                 if depths[m.idx()].is_none() {
                     errors.push(TreeError::Unrooted(m));
@@ -215,7 +218,13 @@ mod tests {
         TreeSnapshot {
             source: HostId(0),
             members: vec![HostId(1), HostId(2), HostId(3), HostId(4)],
-            parent: vec![None, Some(HostId(0)), Some(HostId(1)), Some(HostId(1)), None],
+            parent: vec![
+                None,
+                Some(HostId(0)),
+                Some(HostId(1)),
+                Some(HostId(1)),
+                None,
+            ],
         }
     }
 

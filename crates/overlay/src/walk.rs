@@ -165,6 +165,14 @@ pub struct WalkConfig {
     pub info_retries: u32,
     /// Walk restarts (from the fallback node) before giving up.
     pub max_restarts: u32,
+    /// Per-restart exponential multiplier on `timeout` (`1.0` keeps the
+    /// paper's fixed deadlines; chaos runs use `> 1.0` so a walk under
+    /// partition backs off instead of hammering a dead path).
+    pub backoff: f64,
+    /// Uniform ± fraction of jitter applied to every deadline. `0.0`
+    /// draws no randomness at all, leaving the RNG streams of existing
+    /// runs untouched.
+    pub jitter_frac: f64,
 }
 
 impl Default for WalkConfig {
@@ -173,6 +181,21 @@ impl Default for WalkConfig {
             timeout: SimTime::from_ms(2_000.0),
             info_retries: 1,
             max_restarts: 4,
+            backoff: 1.0,
+            jitter_frac: 0.0,
+        }
+    }
+}
+
+impl WalkConfig {
+    /// Hardened variant for chaos runs: exponential backoff with
+    /// jittered deadlines and a larger restart budget.
+    pub fn hardened() -> Self {
+        Self {
+            max_restarts: 6,
+            backoff: 2.0,
+            jitter_frac: 0.1,
+            ..Self::default()
         }
     }
 }
@@ -180,6 +203,29 @@ impl Default for WalkConfig {
 /// Timer-token namespace bit for walk deadlines (the agent routes these
 /// tokens back into [`Walk::on_timer`]).
 pub const WALK_TOKEN_BIT: u64 = 1 << 62;
+
+/// Exponential backoff with optional jitter: `base * backoff^attempt`
+/// (exponent capped at 6), then a uniform ± `jitter_frac` factor.
+/// Draws randomness only when `jitter_frac > 0`, so default configs
+/// leave the RNG streams of existing runs byte-identical.
+pub(crate) fn scaled_delay(
+    base: SimTime,
+    backoff: f64,
+    attempt: u32,
+    jitter_frac: f64,
+    ctx: &mut Ctx<'_>,
+) -> SimTime {
+    let mut ms = base.as_ms();
+    if backoff > 1.0 && attempt > 0 {
+        ms *= backoff.powi(attempt.min(6) as i32);
+    }
+    if jitter_frac > 0.0 {
+        use rand::Rng;
+        let f = 1.0 + ctx.eng.rng().gen_range(-jitter_frac..jitter_frac);
+        ms *= f.max(0.1);
+    }
+    SimTime::from_ms(ms)
+}
 
 /// The walk state machine. One instance per in-progress (re)join or
 /// refinement.
@@ -255,7 +301,14 @@ impl Walk {
     }
 
     fn arm_deadline(&self, ctx: &mut Ctx<'_>) {
-        ctx.timer(self.cfg.timeout, WALK_TOKEN_BIT | self.generation);
+        let t = scaled_delay(
+            self.cfg.timeout,
+            self.cfg.backoff,
+            self.restarts,
+            self.cfg.jitter_frac,
+            ctx,
+        );
+        ctx.timer(t, WALK_TOKEN_BIT | self.generation);
     }
 
     fn begin_info(&mut self, ctx: &mut Ctx<'_>) {
@@ -301,9 +354,12 @@ impl Walk {
         free_degree: u32,
     ) -> Option<WalkOutcome> {
         match (&mut self.phase, msg) {
-            (Phase::AwaitInfo { sent_at, .. }, Msg::InfoResp { nonce, children, .. })
-                if *nonce == self.generation && from == self.current =>
-            {
+            (
+                Phase::AwaitInfo { sent_at, .. },
+                Msg::InfoResp {
+                    nonce, children, ..
+                },
+            ) if *nonce == self.generation && from == self.current => {
                 let rtt = (ctx.now() - *sent_at).as_ms();
                 let loss = if policy.needs_loss() {
                     ctx.estimate_loss(self.current)
@@ -390,10 +446,7 @@ impl Walk {
                         let adopted_with_dist = adopted
                             .iter()
                             .filter_map(|&c| {
-                                splice
-                                    .iter()
-                                    .find(|(h, _)| *h == c)
-                                    .map(|&(h, d)| (h, d))
+                                splice.iter().find(|(h, _)| *h == c).map(|&(h, d)| (h, d))
                             })
                             .collect();
                         ctx.stats.join_completions += 1;

@@ -46,8 +46,7 @@ impl UplinkModel {
     /// "degree limit of each node is at least one"; true free riders
     /// would need the incentive mechanisms of §2.4.3).
     pub fn degree_for(&self, uplink_kbps: f64) -> u32 {
-        ((uplink_kbps / self.stream_kbps).floor() as u32)
-            .clamp(1, self.max_degree)
+        ((uplink_kbps / self.stream_kbps).floor() as u32).clamp(1, self.max_degree)
     }
 
     /// Draw one node's degree limit.
@@ -68,7 +67,7 @@ impl UplinkModel {
 
     /// Deterministic per-host degree limits for `n` hosts.
     pub fn degree_limits(&self, n: usize, seed: u64) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0075_706c_696e_6b);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7570_6c69_6e6b);
         (0..n).map(|_| self.sample_degree(&mut rng)).collect()
     }
 }

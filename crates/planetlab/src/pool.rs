@@ -102,8 +102,10 @@ impl NodePool {
                     NodeHealth::BlocksPing
                 } else if r < cfg.dead_frac + cfg.blocks_ping_frac + cfg.agent_broken_frac {
                     NodeHealth::AgentBroken
-                } else if r
-                    < cfg.dead_frac + cfg.blocks_ping_frac + cfg.agent_broken_frac + cfg.lazy_frac
+                } else if r < cfg.dead_frac
+                    + cfg.blocks_ping_frac
+                    + cfg.agent_broken_frac
+                    + cfg.lazy_frac
                 {
                     NodeHealth::Lazy
                 } else {

@@ -108,8 +108,10 @@ impl SessionRunner {
             let j = rng.gen_range(0..=i);
             pool_idx.swap(i, j);
         }
-        let mut selected: Vec<HostId> =
-            pool_idx[..cfg.nodes + 1].iter().map(|&i| HostId(i)).collect();
+        let mut selected: Vec<HostId> = pool_idx[..cfg.nodes + 1]
+            .iter()
+            .map(|&i| HostId(i))
+            .collect();
         let central = |h: HostId| -> f64 {
             selected
                 .iter()
@@ -207,9 +209,7 @@ mod tests {
         assert_eq!(r.candidates.len(), 20);
         assert!(!r.candidates.contains(&r.source));
         // The source minimizes total RTT among the selected set.
-        let total = |h: HostId| -> f64 {
-            r.candidates.iter().map(|&o| r.space.rtt_ms(h, o)).sum()
-        };
+        let total = |h: HostId| -> f64 { r.candidates.iter().map(|&o| r.space.rtt_ms(h, o)).sum() };
         let src_total = total(r.source);
         for &c in &r.candidates {
             let mut t = total(c) - r.space.rtt_ms(c, r.source); // exclude self-pair asymmetry
@@ -243,7 +243,7 @@ mod tests {
             ..tiny_cfg()
         };
         let r = SessionRunner::prepare(&cfg, 4);
-        assert!(r.limits.iter().any(|&d| d == 1));
+        assert!(r.limits.contains(&1));
         assert!(r.limits.iter().any(|&d| d >= 4));
         // The heterogeneous session still connects everyone.
         let out = r.run(VdmFactory::delay_based(), 4);

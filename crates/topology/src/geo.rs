@@ -57,13 +57,48 @@ pub struct Region {
 /// (North-America-heavy, then Europe, then Asia).
 pub fn planetlab_regions() -> Vec<Region> {
     vec![
-        Region { name: "US-East", lat: (32.0, 45.0), lon: (-85.0, -70.0), weight: 0.22 },
-        Region { name: "US-Central", lat: (30.0, 45.0), lon: (-105.0, -88.0), weight: 0.14 },
-        Region { name: "US-West", lat: (33.0, 48.0), lon: (-124.0, -110.0), weight: 0.16 },
-        Region { name: "Europe", lat: (40.0, 58.0), lon: (-8.0, 22.0), weight: 0.26 },
-        Region { name: "East-Asia", lat: (22.0, 42.0), lon: (110.0, 140.0), weight: 0.14 },
-        Region { name: "South-America", lat: (-32.0, -5.0), lon: (-70.0, -40.0), weight: 0.04 },
-        Region { name: "Oceania", lat: (-40.0, -28.0), lon: (142.0, 154.0), weight: 0.04 },
+        Region {
+            name: "US-East",
+            lat: (32.0, 45.0),
+            lon: (-85.0, -70.0),
+            weight: 0.22,
+        },
+        Region {
+            name: "US-Central",
+            lat: (30.0, 45.0),
+            lon: (-105.0, -88.0),
+            weight: 0.14,
+        },
+        Region {
+            name: "US-West",
+            lat: (33.0, 48.0),
+            lon: (-124.0, -110.0),
+            weight: 0.16,
+        },
+        Region {
+            name: "Europe",
+            lat: (40.0, 58.0),
+            lon: (-8.0, 22.0),
+            weight: 0.26,
+        },
+        Region {
+            name: "East-Asia",
+            lat: (22.0, 42.0),
+            lon: (110.0, 140.0),
+            weight: 0.14,
+        },
+        Region {
+            name: "South-America",
+            lat: (-32.0, -5.0),
+            lon: (-70.0, -40.0),
+            weight: 0.04,
+        },
+        Region {
+            name: "Oceania",
+            lat: (-40.0, -28.0),
+            lon: (142.0, 154.0),
+            weight: 0.04,
+        },
     ]
 }
 
@@ -71,9 +106,24 @@ pub fn planetlab_regions() -> Vec<Region> {
 /// United States" drawn from a pool of about 140 working nodes).
 pub fn us_regions() -> Vec<Region> {
     vec![
-        Region { name: "US-East", lat: (32.0, 45.0), lon: (-85.0, -70.0), weight: 0.40 },
-        Region { name: "US-Central", lat: (30.0, 45.0), lon: (-105.0, -88.0), weight: 0.28 },
-        Region { name: "US-West", lat: (33.0, 48.0), lon: (-124.0, -110.0), weight: 0.32 },
+        Region {
+            name: "US-East",
+            lat: (32.0, 45.0),
+            lon: (-85.0, -70.0),
+            weight: 0.40,
+        },
+        Region {
+            name: "US-Central",
+            lat: (30.0, 45.0),
+            lon: (-105.0, -88.0),
+            weight: 0.28,
+        },
+        Region {
+            name: "US-West",
+            lat: (33.0, 48.0),
+            lon: (-124.0, -110.0),
+            weight: 0.32,
+        },
     ]
 }
 
@@ -133,13 +183,25 @@ mod tests {
     #[test]
     fn haversine_known_distances() {
         // New York (40.71, -74.01) to Los Angeles (34.05, -118.24): ~3936 km.
-        let ny = GeoPoint { lat: 40.71, lon: -74.01 };
-        let la = GeoPoint { lat: 34.05, lon: -118.24 };
+        let ny = GeoPoint {
+            lat: 40.71,
+            lon: -74.01,
+        };
+        let la = GeoPoint {
+            lat: 34.05,
+            lon: -118.24,
+        };
         let d = great_circle_km(ny, la);
         assert!((d - 3936.0).abs() < 50.0, "got {d}");
         // London to Tokyo: ~9560 km.
-        let lon = GeoPoint { lat: 51.5, lon: -0.12 };
-        let tok = GeoPoint { lat: 35.68, lon: 139.69 };
+        let lon = GeoPoint {
+            lat: 51.5,
+            lon: -0.12,
+        };
+        let tok = GeoPoint {
+            lat: 35.68,
+            lon: 139.69,
+        };
         let d2 = great_circle_km(lon, tok);
         assert!((d2 - 9560.0).abs() < 100.0, "got {d2}");
         // Symmetry and identity.
@@ -149,8 +211,14 @@ mod tests {
 
     #[test]
     fn base_rtt_scales_with_distance() {
-        let ny = GeoPoint { lat: 40.71, lon: -74.01 };
-        let la = GeoPoint { lat: 34.05, lon: -118.24 };
+        let ny = GeoPoint {
+            lat: 40.71,
+            lon: -74.01,
+        };
+        let la = GeoPoint {
+            lat: 34.05,
+            lon: -118.24,
+        };
         let rtt = base_rtt_ms(ny, la);
         // ~3936 km -> ~39 ms RTT floor; real coast-to-coast RTTs are ~60-70 ms,
         // the inflation factor in the planetlab crate accounts for the rest.

@@ -50,7 +50,7 @@ pub fn generate(cfg: &PowerLawConfig, seed: u64) -> Graph {
     assert!(cfg.delay_range.0 > 0.0 && cfg.delay_range.1 >= cfg.delay_range.0);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0070_6f77_6572);
     let mut g = Graph::with_nodes(cfg.nodes, NodeKind::Stub);
-    let mut sample_delay = {
+    let sample_delay = {
         let (lo, hi) = cfg.delay_range;
         move |rng: &mut StdRng| {
             if hi > lo {

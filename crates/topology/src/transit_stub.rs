@@ -151,7 +151,12 @@ pub fn generate(cfg: &TransitStubConfig, seed: u64) -> Graph {
             let a = domains[i][rng.gen_range(0..domains[i].len())];
             let b = domains[j][rng.gen_range(0..domains[j].len())];
             if g.find_edge(a, b).is_none() {
-                g.add_edge(a, b, LinkAttrs::delay(cfg.inter_transit_delay.sample(&mut rng)).with_bandwidth(1_000.0));
+                g.add_edge(
+                    a,
+                    b,
+                    LinkAttrs::delay(cfg.inter_transit_delay.sample(&mut rng))
+                        .with_bandwidth(1_000.0),
+                );
             }
         }
         if d > 2 {
@@ -163,7 +168,12 @@ pub fn generate(cfg: &TransitStubConfig, seed: u64) -> Graph {
                 let a = domains[i][rng.gen_range(0..domains[i].len())];
                 let b = domains[j][rng.gen_range(0..domains[j].len())];
                 if g.find_edge(a, b).is_none() {
-                    g.add_edge(a, b, LinkAttrs::delay(cfg.inter_transit_delay.sample(&mut rng)).with_bandwidth(1_000.0));
+                    g.add_edge(
+                        a,
+                        b,
+                        LinkAttrs::delay(cfg.inter_transit_delay.sample(&mut rng))
+                            .with_bandwidth(1_000.0),
+                    );
                 }
             }
         }
@@ -185,7 +195,11 @@ pub fn generate(cfg: &TransitStubConfig, seed: u64) -> Graph {
                 );
                 // Gateway link from a random stub router to the transit router.
                 let gw = members[rng.gen_range(0..members.len())];
-                g.add_edge(gw, tr, LinkAttrs::delay(cfg.stub_transit_delay.sample(&mut rng)).with_bandwidth(155.0));
+                g.add_edge(
+                    gw,
+                    tr,
+                    LinkAttrs::delay(cfg.stub_transit_delay.sample(&mut rng)).with_bandwidth(155.0),
+                );
             }
         }
     }

@@ -34,7 +34,10 @@ fn main() {
         seed,
     );
 
-    println!("{:>8} {:>9} {:>9} {:>9} {:>11}", "metric", "stress", "stretch", "loss(%)", "tree-edges");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>11}",
+        "metric", "stress", "stretch", "loss(%)", "tree-edges"
+    );
     let mut results = Vec::new();
     for proto in [Protocol::Vdm, Protocol::VdmL] {
         let out = proto.run(
@@ -73,7 +76,10 @@ fn main() {
         .iter()
         .filter(|&&m| tree_d.parent_of(m) != tree_l.parent_of(m))
         .count();
-    println!("\npeers with a different parent under VDM-L: {differing}/{}", tree_d.members.len());
+    println!(
+        "\npeers with a different parent under VDM-L: {differing}/{}",
+        tree_d.members.len()
+    );
     assert!(differing > 0, "the metrics should shape different trees");
 
     // And the trade-off should lean the right way: VDM-L no worse on

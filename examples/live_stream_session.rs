@@ -31,7 +31,10 @@ fn main() {
 
     let out = runner.run(VdmFactory::delay_based(), seed);
 
-    println!("\n{:>8} {:>8} {:>10} {:>9} {:>9} {:>9}", "time(s)", "members", "connected", "stretch", "loss(%)", "hopcount");
+    println!(
+        "\n{:>8} {:>8} {:>10} {:>9} {:>9} {:>9}",
+        "time(s)", "members", "connected", "stretch", "loss(%)", "hopcount"
+    );
     for m in &out.stats.measurements {
         println!(
             "{:>8.0} {:>8} {:>10} {:>9.2} {:>9.2} {:>9.2}",
@@ -45,12 +48,15 @@ fn main() {
         assert_eq!(m.tree_errors, 0, "structural error at t={}", m.time_s);
     }
 
-    let startup: f64 =
-        out.stats.startup_s.iter().sum::<f64>() / out.stats.startup_s.len() as f64;
-    println!("\njoins: {} (avg startup {:.2}s)", out.stats.startup_s.len(), startup);
+    let startup: f64 = out.stats.startup_s.iter().sum::<f64>() / out.stats.startup_s.len() as f64;
+    println!(
+        "\njoins: {} (avg startup {:.2}s)",
+        out.stats.startup_s.len(),
+        startup
+    );
     if !out.stats.reconnection_s.is_empty() {
-        let reconn: f64 = out.stats.reconnection_s.iter().sum::<f64>()
-            / out.stats.reconnection_s.len() as f64;
+        let reconn: f64 =
+            out.stats.reconnection_s.iter().sum::<f64>() / out.stats.reconnection_s.len() as f64;
         println!(
             "orphan recoveries: {} (avg reconnection {:.2}s — §3.3 grandparent anchoring)",
             out.stats.reconnection_s.len(),

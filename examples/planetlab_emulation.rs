@@ -52,5 +52,8 @@ fn main() {
         edges.len()
     );
 
-    println!("\nGraphviz DOT (pipe into `dot -Tsvg`):\n{}", snap.to_dot(|h| runner.label(h)));
+    println!(
+        "\nGraphviz DOT (pipe into `dot -Tsvg`):\n{}",
+        snap.to_dot(|h| runner.label(h))
+    );
 }

@@ -45,6 +45,9 @@ fn main() {
         println!("  {orphan} reconnected under {}", trace.parent);
     }
     let snapshot = overlay.snapshot();
-    println!("\noverlay tree after the leave:\n{}", snapshot.to_ascii(|h| format!("{h}")));
+    println!(
+        "\noverlay tree after the leave:\n{}",
+        snapshot.to_ascii(|h| format!("{h}"))
+    );
     assert!(snapshot.validate(&overlay.limits()).is_empty());
 }

@@ -90,10 +90,7 @@ fn orphan_recovers_when_grandparent_died_too() {
     actions.push((t_kill, Action::Leave(setup.candidates[1])));
     actions.push((t_kill, Action::Leave(setup.candidates[2])));
     actions.push((SimTime::from_secs(120), Action::Measure));
-    let scenario = Scenario {
-        actions,
-        end: SimTime::from_secs(125),
-    };
+    let scenario = Scenario::from_actions(actions, SimTime::from_secs(125));
     let driver = Driver::new(
         setup.underlay.clone(),
         None,

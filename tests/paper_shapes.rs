@@ -47,7 +47,11 @@ fn unicast_star_is_the_stretch_optimum_and_stress_pessimum() {
     let vdm = ch3_metrics(Protocol::Vdm, 1);
     // §3.6.3: "Unicast is assumed to have optimal stretch" / "In IP
     // multicast, stress is always one" — the star bounds both sides.
-    assert!((star.stretch - 1.0).abs() < 1e-6, "star stretch {}", star.stretch);
+    assert!(
+        (star.stretch - 1.0).abs() < 1e-6,
+        "star stretch {}",
+        star.stretch
+    );
     assert!(star.usage > 0.99 && star.usage < 1.01);
     assert!(vdm.stress >= 1.0);
     assert!(

@@ -4,10 +4,10 @@
 use std::sync::Arc;
 use vdm_experiments::setup::{ch3_setup, degree_limits_range};
 use vdm_experiments::Protocol;
+use vdm_netsim::Underlay;
 use vdm_netsim::{HostId, SimTime};
 use vdm_overlay::driver::{DriverConfig, RunOutput};
 use vdm_overlay::scenario::{ChurnConfig, Scenario};
-use vdm_netsim::Underlay;
 use vdm_planetlab::{SessionConfig, SessionRunner};
 
 const ALL_PROTOCOLS: [Protocol; 6] = [
@@ -114,13 +114,21 @@ fn stream_actually_flows_end_to_end() {
     // With no churn and no link loss, every connected member receives
     // nearly every chunk after its join.
     let loss = out.stats.overall_loss();
-    assert!(loss < 0.10, "lossless network lost {:.1}% of chunks", loss * 100.0);
+    assert!(
+        loss < 0.10,
+        "lossless network lost {:.1}% of chunks",
+        loss * 100.0
+    );
     assert!(out.stats.source_chunks > 50);
     let received: u64 = out.stats.received.iter().sum();
     assert!(received > 0);
     // Data flowed along the tree: more per-hop sends than source chunks.
     let last = out.stats.measurements.last().unwrap();
-    assert!(last.loss_rate < 0.02, "steady-state loss {}", last.loss_rate);
+    assert!(
+        last.loss_rate < 0.02,
+        "steady-state loss {}",
+        last.loss_rate
+    );
 }
 
 #[test]

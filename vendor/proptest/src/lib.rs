@@ -1,0 +1,241 @@
+//! Offline drop-in stub for the subset of `proptest` 1.x used by this
+//! workspace: the `proptest!` macro over `pat in strategy` arguments,
+//! numeric range strategies, `collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Each property runs a fixed number of cases drawn from a generator
+//! seeded deterministically from the test's module path, so failures
+//! reproduce across runs. There is no shrinking: the failing inputs are
+//! whatever the reported case sampled.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of a single property case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; resample.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator. Mirrors the corner of `proptest::strategy`
+    /// this workspace touches: sampling only, no shrinking.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `Vec` strategy: length drawn from `size`, elements from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// How many accepted cases each property must pass.
+pub const CASES: u64 = 64;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: sample cases until [`CASES`] accepted bodies, with
+/// a rejection cap so a bad `prop_assume!` can't spin forever.
+pub fn run_cases<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    while accepted < CASES {
+        if attempts > CASES * 50 {
+            panic!("proptest {name}: too many rejected cases ({attempts} attempts)");
+        }
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempts));
+        attempts += 1;
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name} failed (case {attempts}): {msg}")
+            }
+        }
+    }
+}
+
+/// Define property tests. Each `pat in strategy` argument is sampled per
+/// case; the body may use `prop_assert!`, `prop_assert_eq!`, and
+/// `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__pt_rng| {
+                        $(let $pat = $crate::strategy::Strategy::sample(&($strat), __pt_rng);)+
+                        let __pt_out: ::std::result::Result<(), $crate::TestCaseError> =
+                            (|| {
+                                { $body }
+                                ::std::result::Result::Ok(())
+                            })();
+                        __pt_out
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                __l, __r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Reject the sampled inputs and draw a fresh case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    // Pull everything through the prelude, as downstream users do.
+    #[allow(unused_imports)]
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3..9usize, y in 0.0..1.0f64, z in 1u32..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y), "y out of range: {y}");
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_and_mut_patterns(
+            mut v in crate::collection::vec(-5.0..5.0f64, 2..10),
+            k in 0usize..100,
+        ) {
+            prop_assume!(k % 10 != 3);
+            v.push(0.0);
+            prop_assert!(v.len() >= 3 && v.len() <= 10);
+            prop_assert_eq!(v.last().copied(), Some(0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failures_panic_with_message() {
+        crate::run_cases("tests::failures_panic", |_| {
+            Err(crate::TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline sequential stand-in for the subset of `rayon` this workspace
+//! uses (`into_par_iter` in the experiment replicator). Iteration order is
+//! identical to the sequential order, which also makes replicated
+//! experiment output trivially deterministic.
+
+pub mod prelude {
+    /// Sequential `IntoParallelIterator`: `into_par_iter()` is a plain
+    /// `into_iter()`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}
