@@ -1,0 +1,111 @@
+//! Microbenchmarks of the gap-repair hot path: every forwarded stream
+//! chunk records into the parent's retransmit ring, every received
+//! chunk runs the receiver's gap classifier, and every NACK does a ring
+//! lookup per requested sequence number. These run once per chunk per
+//! peer, so they dominate the data-plane cost of the repair extension.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use vdm_netsim::SimTime;
+use vdm_overlay::repair::{GapTracker, RepairConfig, RetransmitRing};
+
+fn bench_ring_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_record");
+    for cap in [16usize, 64, 256] {
+        // In-order append + eviction: the steady-state path (the source
+        // and every forwarding parent hit this once per chunk).
+        group.bench_with_input(BenchmarkId::new("in_order", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut ring = RetransmitRing::new(cap);
+                for seq in 0..1024u64 {
+                    ring.record(black_box(seq));
+                }
+                black_box(ring.len())
+            })
+        });
+        // Out-of-order inserts (repaired chunks re-forwarded down the
+        // tree): exercises the binary-search insert.
+        group.bench_with_input(BenchmarkId::new("shuffled", cap), &cap, |b, &cap| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut seqs: Vec<u64> = (0..1024).collect();
+            for i in (1..seqs.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                seqs.swap(i, j);
+            }
+            b.iter(|| {
+                let mut ring = RetransmitRing::new(cap);
+                for &seq in &seqs {
+                    ring.record(black_box(seq));
+                }
+                black_box(ring.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_lookup(c: &mut Criterion) {
+    let mut ring = RetransmitRing::new(256);
+    for seq in 0..1024u64 {
+        ring.record(seq);
+    }
+    c.bench_function("ring_contains_hit_and_miss", |b| {
+        b.iter(|| {
+            // One hit (in the last 256) and one miss (evicted).
+            black_box(ring.contains(black_box(1000)));
+            black_box(ring.contains(black_box(10)));
+        })
+    });
+}
+
+fn bench_gap_tracker(c: &mut Criterion) {
+    let cfg = RepairConfig::default();
+    let mut group = c.benchmark_group("gap_tracker");
+    // Loss-free stream: the fast path every healthy receiver pays.
+    group.bench_function("in_order_1024", |b| {
+        b.iter(|| {
+            let mut gaps = GapTracker::default();
+            let mut last = None;
+            for seq in 0..1024u64 {
+                let class = gaps.on_chunk(black_box(seq), last, SimTime::from_secs(1), &cfg);
+                black_box(class);
+                last = Some(seq);
+            }
+            black_box(gaps.has_pending())
+        })
+    });
+    // Lossy stream: every 8th chunk missing, then repaired — exercises
+    // gap noting, NACK batching and the repaired-classification path.
+    group.bench_function("lossy_with_repairs_1024", |b| {
+        b.iter(|| {
+            let mut gaps = GapTracker::default();
+            let mut last = None;
+            let mut now = SimTime::from_secs(1);
+            for seq in 0..1024u64 {
+                if seq % 8 == 7 {
+                    continue; // dropped on the wire
+                }
+                gaps.on_chunk(black_box(seq), last, now, &cfg);
+                last = Some(seq);
+                if seq % 64 == 0 {
+                    now += cfg.nack_delay;
+                    let due = gaps.due_nacks(now, &cfg);
+                    for miss in &due {
+                        // Repair arrives: classify the retransmission.
+                        gaps.on_chunk(black_box(*miss), last, now, &cfg);
+                    }
+                }
+            }
+            black_box(gaps.lost)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_record,
+    bench_ring_lookup,
+    bench_gap_tracker
+);
+criterion_main!(benches);

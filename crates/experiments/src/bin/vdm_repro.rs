@@ -18,19 +18,23 @@
 //!   complexity    Eq 3.3          contacted peers per join vs N
 //!   ablation      extra           slack sweep, reconnection anchor
 //!   chaos         extra (A7)      seeded fault injection: recovery, VDM vs HMTP
+//!   soak          extra (A8)      sustained churn: proactive resilience on/off
 //!   all           everything above
 //! ```
 //!
 //! `chaos` runs a deterministic fault schedule (link flaps, a
 //! partition, message duplication/reordering, all combined) against
 //! both protocols and reports recovery times, orphan counts, delivery
-//! gaps and invariant violations with 90 % CIs. It writes CSVs to
+//! gaps and invariant violations with 90 % CIs. `soak` runs sustained
+//! Poisson churn with correlated crash bursts and sweeps the
+//! proactive-resilience mechanisms (backup-parent failover, rejoin
+//! admission control, NACK gap repair) on and off. Both write CSVs to
 //! `results/` unless `--csv` overrides the directory; identical seeds
 //! produce byte-identical output.
 
 use std::io::Write;
 use std::time::Instant;
-use vdm_experiments::figures::{ablation, chaos, compare, complexity, fig3, fig4, fig5};
+use vdm_experiments::figures::{ablation, chaos, compare, complexity, fig3, fig4, fig5, soak};
 use vdm_experiments::{Effort, Table};
 
 struct Opts {
@@ -68,6 +72,7 @@ fn run_family(name: &str, opts: &Opts) -> bool {
         "complexity" => complexity::join_complexity(e, s),
         "compare" => compare::ch3_compare(e, 5.0, s),
         "chaos" => chaos::chaos_recovery(e, s),
+        "soak" => soak::soak_resilience(e, s),
         "ablation" => {
             let mut t = ablation::slack_sweep(e, s);
             t.extend(ablation::reconnect_anchor(e, s));
@@ -103,6 +108,7 @@ const ALL: &[&str] = &[
     "complexity",
     "ablation",
     "chaos",
+    "soak",
     "compare",
 ];
 
@@ -153,9 +159,9 @@ fn main() {
         print_usage();
         std::process::exit(2);
     };
-    // The chaos family always leaves a CSV audit trail (its whole point
-    // is reproducible recovery numbers).
-    if family == "chaos" && opts.csv_dir.is_none() {
+    // The chaos and soak families always leave a CSV audit trail (their
+    // whole point is reproducible recovery numbers).
+    if (family == "chaos" || family == "soak") && opts.csv_dir.is_none() {
         opts.csv_dir = Some("results".into());
     }
     if family == "all" {

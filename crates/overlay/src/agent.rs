@@ -11,9 +11,11 @@
 
 use crate::msg::{ChildEntry, ConnKind, ConnResult, Msg};
 use crate::peer::PeerState;
+use crate::repair::{ChunkClass, GapTracker, RepairConfig, RetransmitRing};
 use crate::stats::RunStats;
 use crate::walk::{Walk, WalkConfig, WalkOutcome, WalkPolicy, WalkPurpose, WALK_TOKEN_BIT};
 use rand::Rng;
+use std::collections::VecDeque;
 use vdm_netsim::{Engine, HostId, SendClass, SimTime};
 
 /// Timer token for the periodic refinement trigger.
@@ -24,6 +26,13 @@ pub const DATA_WATCH_TOKEN: u64 = 1 << 60;
 pub const RETRY_TOKEN: u64 = 1 << 59;
 /// Timer token for the heartbeat/pruning cycle.
 pub const HEARTBEAT_TOKEN: u64 = 1 << 58;
+/// Timer token for draining the admission queue.
+pub const ADMIT_TOKEN: u64 = 1 << 57;
+/// Timer-token namespace bit for failover attempt deadlines (the low
+/// bits carry the attempt nonce, which stays far below this bit).
+pub const FAILOVER_TOKEN_BIT: u64 = 1 << 56;
+/// Timer token for the gap-repair NACK scheduler.
+pub const REPAIR_TOKEN: u64 = 1 << 55;
 
 /// Heartbeat settings for the ungraceful-failure extension: children
 /// beacon their parent every `period`; parents prune children silent
@@ -34,6 +43,66 @@ pub struct HeartbeatConfig {
     pub period: SimTime,
     /// Silence threshold after which a child is presumed crashed.
     pub timeout: SimTime,
+}
+
+/// Proactive-resilience settings: the ancestor list gossiped down the
+/// tree and the ranked backup-parent candidate set harvested from walk
+/// probes. An orphan first tries direct connection requests at its
+/// candidates/ancestors (milliseconds) and only falls back to the §3.3
+/// grandparent walk when all of them are dead, full, or exhausted.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceConfig {
+    /// Ancestors retained (root-path suffix, nearest-first).
+    pub max_ancestors: usize,
+    /// Backup-parent candidates retained (cheapest-first).
+    pub max_candidates: usize,
+    /// Candidates unprobed for longer than this are dropped.
+    pub candidate_ttl: SimTime,
+    /// Per-attempt deadline of a direct failover connection request.
+    pub failover_timeout: SimTime,
+    /// Direct attempts before giving up and walking.
+    pub max_attempts: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_ancestors: 4,
+            max_candidates: 3,
+            candidate_ttl: SimTime::from_secs(180),
+            failover_timeout: SimTime::from_secs(2),
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Rejoin-storm admission control: a token bucket over plain new-child
+/// admissions plus a bounded wait queue. Correlated crashes produce a
+/// thundering herd of rejoin walks; throttling smooths the herd into
+/// the tree instead of letting every interior node thrash, and
+/// overflow is shed to siblings via the normal redirect path.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Sustained admissions per second.
+    pub rate_per_s: f64,
+    /// Token-bucket burst capacity.
+    pub burst: f64,
+    /// Queue slots for joiners awaiting a token.
+    pub queue: usize,
+    /// Queued joiners older than this are shed (their walk has long
+    /// timed out and restarted elsewhere).
+    pub max_wait: SimTime,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            rate_per_s: 2.0,
+            burst: 4.0,
+            queue: 8,
+            max_wait: SimTime::from_secs(3),
+        }
+    }
 }
 
 /// Agent-side tunables.
@@ -70,6 +139,17 @@ pub struct AgentConfig {
     /// Child-liveness heartbeats (ungraceful-failure extension);
     /// `None` matches the paper's graceful-leave model.
     pub heartbeat: Option<HeartbeatConfig>,
+    /// Backup-parent failover + ancestor-list recovery
+    /// (proactive-resilience extension); `None` keeps the paper's pure
+    /// grandparent-walk recovery and, crucially, the exact event
+    /// sequence of earlier builds.
+    pub resilience: Option<ResilienceConfig>,
+    /// Rejoin-storm admission control; `None` admits every join
+    /// immediately as before.
+    pub admission: Option<AdmissionConfig>,
+    /// NACK-based stream gap repair; `None` keeps the fire-and-forget
+    /// data plane.
+    pub repair: Option<RepairConfig>,
 }
 
 impl Default for AgentConfig {
@@ -84,6 +164,9 @@ impl Default for AgentConfig {
             gap_threshold: None,
             loss_probe_noise: 0.0,
             heartbeat: None,
+            resilience: None,
+            admission: None,
+            repair: None,
         }
     }
 }
@@ -178,6 +261,43 @@ pub trait AgentFactory {
     ) -> Self::Agent;
 }
 
+/// One ranked backup-parent candidate (resilience extension).
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    host: HostId,
+    vdist: crate::VDist,
+    /// When the walk last measured this peer (freshness stamp).
+    seen_at: SimTime,
+}
+
+/// An in-progress direct failover: one connection request in flight at
+/// `target`, remaining targets queued behind it.
+#[derive(Clone, Debug)]
+struct Failover {
+    /// Remaining targets as `(host, measured_vdist)`; unmeasured
+    /// ancestors carry `VDist::INFINITY` (refreshed on repeat requests
+    /// and refinement).
+    targets: VecDeque<(HostId, crate::VDist)>,
+    /// Host of the in-flight request.
+    target: HostId,
+    /// Nonce of the in-flight request (ties the response and the
+    /// deadline timer to this attempt).
+    nonce: u64,
+    /// Measured distance of the in-flight request.
+    pending_vdist: crate::VDist,
+    /// Attempts fired so far.
+    attempts: usize,
+}
+
+/// A joiner parked in the admission queue.
+#[derive(Clone, Copy, Debug)]
+struct QueuedJoin {
+    from: HostId,
+    nonce: u64,
+    vdist: crate::VDist,
+    at: SimTime,
+}
+
 /// The generic protocol peer; `P` supplies the protocol behaviour.
 pub struct ProtocolAgent<P: WalkPolicy> {
     state: PeerState,
@@ -207,6 +327,28 @@ pub struct ProtocolAgent<P: WalkPolicy> {
     /// Highest [`Msg::ParentChange`] generation stamp seen per sender:
     /// duplicated or stale reordered splice notices are dropped.
     pc_seen: Vec<(HostId, u64)>,
+    /// Nearest-first ancestor anchors (resilience extension; empty when
+    /// the mechanism is off).
+    ancestors: Vec<HostId>,
+    /// Ranked backup-parent candidates harvested from walk probes.
+    candidates: Vec<Candidate>,
+    /// In-progress direct failover (mutually exclusive with a walk).
+    failover: Option<Failover>,
+    /// Admission token bucket: current tokens and last refill time.
+    admit_tokens: f64,
+    admit_refilled_at: SimTime,
+    /// Joiners awaiting an admission token.
+    admit_queue: VecDeque<QueuedJoin>,
+    /// Whether an [`ADMIT_TOKEN`] timer is in flight.
+    admit_armed: bool,
+    /// Recently forwarded chunks, for answering NACKs (gap repair).
+    ring: RetransmitRing,
+    /// Chunks we are missing ourselves (gap repair).
+    gaps: GapTracker,
+    /// Whether a [`REPAIR_TOKEN`] timer is in flight.
+    repair_armed: bool,
+    /// `gaps.lost` already pushed into the shared run stats.
+    lost_reported: u64,
 }
 
 impl<P: WalkPolicy> ProtocolAgent<P> {
@@ -236,6 +378,17 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             fail_streak: 0,
             last_chunk_at: None,
             pc_seen: Vec::new(),
+            ancestors: Vec::new(),
+            candidates: Vec::new(),
+            failover: None,
+            admit_tokens: cfg.admission.map_or(0.0, |a| a.burst),
+            admit_refilled_at: SimTime::ZERO,
+            admit_queue: VecDeque::new(),
+            admit_armed: false,
+            ring: RetransmitRing::new(cfg.repair.map_or(1, |r| r.ring)),
+            gaps: GapTracker::default(),
+            repair_armed: false,
+            lost_reported: 0,
         }
     }
 
@@ -280,6 +433,394 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         }
     }
 
+    /// Replace the ancestor list (nearest-first), dedup and truncate
+    /// it, and gossip the change down to all children. No-op unless the
+    /// resilience mechanism is on.
+    fn set_ancestors(&mut self, ctx: &mut Ctx<'_>, proposal: Vec<HostId>) {
+        let Some(r) = self.cfg.resilience else { return };
+        let mut list: Vec<HostId> = Vec::new();
+        for h in proposal {
+            if h != self.state.host && !list.contains(&h) {
+                list.push(h);
+            }
+        }
+        list.truncate(r.max_ancestors);
+        if list == self.ancestors {
+            return;
+        }
+        self.ancestors = list;
+        for (c, _) in self.state.children.clone() {
+            ctx.send(
+                c,
+                Msg::AncestorList {
+                    ancestors: self.ancestors.clone(),
+                },
+            );
+        }
+    }
+
+    /// Send our current ancestor list to one (newly admitted) child.
+    fn gossip_ancestors_to(&mut self, ctx: &mut Ctx<'_>, child: HostId) {
+        if self.cfg.resilience.is_some() {
+            ctx.send(
+                child,
+                Msg::AncestorList {
+                    ancestors: self.ancestors.clone(),
+                },
+            );
+        }
+    }
+
+    /// Fold a walk's probe measurements into the ranked backup-parent
+    /// candidate set (cheapest-first, freshness-stamped, bounded).
+    fn merge_candidates(&mut self, harvest: &[(HostId, crate::VDist)], now: SimTime) {
+        let Some(r) = self.cfg.resilience else { return };
+        for &(h, d) in harvest {
+            if h == self.state.host {
+                continue;
+            }
+            if let Some(c) = self.candidates.iter_mut().find(|c| c.host == h) {
+                c.vdist = d;
+                c.seen_at = now;
+            } else {
+                self.candidates.push(Candidate {
+                    host: h,
+                    vdist: d,
+                    seen_at: now,
+                });
+            }
+        }
+        self.candidates
+            .retain(|c| now.saturating_sub(c.seen_at) <= r.candidate_ttl);
+        self.candidates
+            .sort_by(|a, b| a.vdist.total_cmp(&b.vdist).then(a.host.cmp(&b.host)));
+        self.candidates.truncate(r.max_candidates);
+    }
+
+    /// Assemble the failover target list (fresh candidates cheapest
+    /// first, then unmeasured ancestors nearest first) and fire the
+    /// first direct connection request. Returns whether an attempt is
+    /// now in flight; `false` means the caller should walk instead.
+    fn start_failover(&mut self, ctx: &mut Ctx<'_>, dead: Option<HostId>) -> bool {
+        let Some(r) = self.cfg.resilience else {
+            return false;
+        };
+        let now = ctx.now();
+        let me = self.state.host;
+        let mut targets: VecDeque<(HostId, crate::VDist)> = VecDeque::new();
+        for c in &self.candidates {
+            if now.saturating_sub(c.seen_at) > r.candidate_ttl
+                || c.host == me
+                || Some(c.host) == dead
+                || self.state.has_child(c.host)
+                || targets.iter().any(|&(h, _)| h == c.host)
+            {
+                continue;
+            }
+            targets.push_back((c.host, c.vdist));
+        }
+        for &a in &self.ancestors {
+            if a == me
+                || Some(a) == dead
+                || self.state.has_child(a)
+                || targets.iter().any(|&(h, _)| h == a)
+            {
+                continue;
+            }
+            targets.push_back((a, crate::VDist::INFINITY));
+        }
+        targets.truncate(r.max_attempts);
+        if targets.is_empty() {
+            return false;
+        }
+        self.failover = Some(Failover {
+            targets,
+            target: me,
+            nonce: 0,
+            pending_vdist: crate::VDist::INFINITY,
+            attempts: 0,
+        });
+        self.failover_try_next(ctx)
+    }
+
+    /// Fire the next failover connection request. Clears the failover
+    /// and returns `false` when targets or the attempt budget run out.
+    fn failover_try_next(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let Some(r) = self.cfg.resilience else {
+            self.failover = None;
+            return false;
+        };
+        loop {
+            let (target, vdist) = match self.failover.as_mut() {
+                Some(f) if f.attempts < r.max_attempts => match f.targets.pop_front() {
+                    Some(t) => {
+                        f.attempts += 1;
+                        t
+                    }
+                    None => {
+                        self.failover = None;
+                        return false;
+                    }
+                },
+                _ => {
+                    self.failover = None;
+                    return false;
+                }
+            };
+            if target == self.state.host || self.state.has_child(target) {
+                continue;
+            }
+            let nonce = self.stamp();
+            if let Some(f) = self.failover.as_mut() {
+                f.target = target;
+                f.nonce = nonce;
+                f.pending_vdist = vdist;
+            }
+            ctx.stats.recovery.failover_attempts += 1;
+            ctx.send(
+                target,
+                Msg::ConnReq {
+                    nonce,
+                    kind: ConnKind::Child,
+                    vdist,
+                },
+            );
+            ctx.timer(r.failover_timeout, FAILOVER_TOKEN_BIT | nonce);
+            return true;
+        }
+    }
+
+    /// Failover exhausted: fall back to the §3.3 reconnection walk.
+    fn failover_fall_back_to_walk(&mut self, ctx: &mut Ctx<'_>) {
+        self.failover = None;
+        let start = self.state.grandparent.unwrap_or(self.source);
+        self.start_walk(ctx, WalkPurpose::Reconnect, start);
+    }
+
+    /// Handle the response to an in-flight failover request.
+    fn on_failover_resp(&mut self, ctx: &mut Ctx<'_>, from: HostId, result: ConnResult) {
+        match result {
+            ConnResult::Accepted {
+                grandparent,
+                adopted: _,
+                root_path,
+            } => {
+                let f = self.failover.take().expect("active failover");
+                if self.state.has_child(from) {
+                    // Mutual-adoption race, as in `finish_walk`: undo the
+                    // acceptor's bookkeeping and keep trying elsewhere.
+                    ctx.send(from, Msg::ChildLeave);
+                    self.failover = Some(f);
+                    if !self.failover_try_next(ctx) {
+                        self.failover_fall_back_to_walk(ctx);
+                    }
+                    return;
+                }
+                let started = self.orphaned_at.unwrap_or_else(|| ctx.now());
+                let took = (ctx.now() - started).as_secs();
+                ctx.stats.reconnection_s.push(took);
+                ctx.stats
+                    .recovery
+                    .reconnections
+                    .push((ctx.now().as_secs(), took));
+                ctx.stats.recovery.failover_successes += 1;
+                ctx.stats.join_completions += 1;
+                self.adopt_parent(
+                    ctx,
+                    from,
+                    grandparent,
+                    root_path,
+                    Vec::new(),
+                    f.pending_vdist,
+                );
+            }
+            ConnResult::Redirect { next } => {
+                // The target is full but offered its closest child: try
+                // it ahead of the remaining targets.
+                if next != self.state.host {
+                    if let Some(f) = self.failover.as_mut() {
+                        f.targets.push_front((next, crate::VDist::INFINITY));
+                    }
+                }
+                if !self.failover_try_next(ctx) {
+                    self.failover_fall_back_to_walk(ctx);
+                }
+            }
+            ConnResult::Rejected => {
+                ctx.stats.rejected_conns += 1;
+                if !self.failover_try_next(ctx) {
+                    self.failover_fall_back_to_walk(ctx);
+                }
+            }
+        }
+    }
+
+    /// Refill the admission token bucket up to `now`.
+    fn admit_refill(&mut self, now: SimTime, a: &AdmissionConfig) {
+        let dt = now.saturating_sub(self.admit_refilled_at).as_secs();
+        self.admit_tokens = (self.admit_tokens + dt * a.rate_per_s).min(a.burst);
+        self.admit_refilled_at = now;
+    }
+
+    /// Arm the queue-drain timer for roughly when the next token lands.
+    fn arm_admit_timer(&mut self, ctx: &mut Ctx<'_>, a: &AdmissionConfig) {
+        if self.admit_armed {
+            return;
+        }
+        self.admit_armed = true;
+        let deficit = (1.0 - self.admit_tokens).max(0.0);
+        let secs = if a.rate_per_s > 0.0 {
+            deficit / a.rate_per_s
+        } else {
+            1.0
+        };
+        ctx.timer(SimTime::from_ms((secs * 1000.0).max(1.0)), ADMIT_TOKEN);
+    }
+
+    /// Admit queued joiners as tokens refill; shed stale or
+    /// no-longer-valid entries.
+    fn drain_admit_queue(&mut self, ctx: &mut Ctx<'_>, a: &AdmissionConfig) {
+        let now = ctx.now();
+        self.admit_refill(now, a);
+        while let Some(&q) = self.admit_queue.front() {
+            if now.saturating_sub(q.at) > a.max_wait {
+                // The walker has long timed out and restarted; shed it
+                // toward a sibling rather than ghost-admitting it.
+                self.admit_queue.pop_front();
+                ctx.stats.recovery.joins_shed += 1;
+                self.redirect_or_reject(ctx, q.from, q.nonce);
+                continue;
+            }
+            // Re-validate against current state: we may have filled up,
+            // started a walk, or adopted the joiner as an ancestor
+            // since it was queued.
+            let ok = self.state.connected()
+                && self.walk.is_none()
+                && self.failover.is_none()
+                && Some(q.from) != self.state.parent
+                && !self.ancestors.contains(&q.from)
+                && !self.state.has_child(q.from)
+                && self.state.free_degree() > 0;
+            if !ok {
+                self.admit_queue.pop_front();
+                ctx.send(
+                    q.from,
+                    Msg::ConnResp {
+                        nonce: q.nonce,
+                        result: ConnResult::Rejected,
+                    },
+                );
+                continue;
+            }
+            if self.admit_tokens < 1.0 {
+                break;
+            }
+            self.admit_queue.pop_front();
+            self.admit_tokens -= 1.0;
+            self.accept_new_child(ctx, q.from, q.nonce, q.vdist);
+        }
+        if !self.admit_queue.is_empty() {
+            self.arm_admit_timer(ctx, a);
+        }
+    }
+
+    /// Admit `from` as a plain new child and acknowledge it.
+    fn accept_new_child(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        nonce: u64,
+        vdist: crate::VDist,
+    ) {
+        self.state.add_child(from, vdist);
+        self.note_child_alive(from, ctx.now());
+        self.arm_heartbeat(ctx);
+        let root_path = if self.cfg.maintain_root_path {
+            self.own_path()
+        } else {
+            Vec::new()
+        };
+        ctx.send(
+            from,
+            Msg::ConnResp {
+                nonce,
+                result: ConnResult::Accepted {
+                    grandparent: self.state.parent,
+                    adopted: Vec::new(),
+                    root_path,
+                },
+            },
+        );
+        self.gossip_ancestors_to(ctx, from);
+    }
+
+    /// Point the requester at our closest child (§3.2), or reject when
+    /// we have none to offer.
+    fn redirect_or_reject(&mut self, ctx: &mut Ctx<'_>, from: HostId, nonce: u64) {
+        match self.state.closest_child(&[from]) {
+            Some((next, _)) => ctx.send(
+                from,
+                Msg::ConnResp {
+                    nonce,
+                    result: ConnResult::Redirect { next },
+                },
+            ),
+            None => ctx.send(
+                from,
+                Msg::ConnResp {
+                    nonce,
+                    result: ConnResult::Rejected,
+                },
+            ),
+        }
+    }
+
+    /// Push newly declared-lost chunks into the shared run stats.
+    fn sync_lost(&mut self, ctx: &mut Ctx<'_>) {
+        let d = self.gaps.lost - self.lost_reported;
+        if d > 0 {
+            ctx.stats.recovery.chunks_lost += d;
+            self.lost_reported = self.gaps.lost;
+        }
+    }
+
+    /// Arm the NACK scheduler for the earliest missing-chunk deadline,
+    /// keeping at most one timer in flight.
+    fn arm_repair_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.repair.is_none() || self.repair_armed {
+            return;
+        }
+        if let Some(due) = self.gaps.next_due() {
+            self.repair_armed = true;
+            ctx.timer(due.saturating_sub(ctx.now()), REPAIR_TOKEN);
+        }
+    }
+
+    /// Deliver one accepted chunk: count it, record gap observability
+    /// (fresh arrivals only), refresh parent liveness, retain it for
+    /// NACK answers, and forward downstream.
+    fn deliver_chunk(&mut self, ctx: &mut Ctx<'_>, seq: u64, fresh: bool) {
+        ctx.stats.received[ctx.me.idx()] += 1;
+        let now = ctx.now();
+        if fresh {
+            if let (Some(thr), Some(prev)) = (self.cfg.gap_threshold, self.last_chunk_at) {
+                let gap = now.saturating_sub(prev);
+                if gap >= thr {
+                    ctx.stats
+                        .recovery
+                        .delivery_gaps
+                        .push((now.as_secs(), gap.as_secs()));
+                }
+            }
+            self.last_chunk_at = Some(now);
+        }
+        self.last_data_at = now;
+        if self.cfg.repair.is_some() {
+            self.ring.record(seq);
+        }
+        self.forward_data(ctx, seq);
+    }
+
     /// Peer state (for tests and diagnostics).
     pub fn state(&self) -> &PeerState {
         &self.state
@@ -316,12 +857,18 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
     }
 
     fn become_orphan(&mut self, ctx: &mut Ctx<'_>, notify_parent: bool) {
+        let dead = self.state.parent;
         if let (true, Some(p)) = (notify_parent, self.state.parent) {
             ctx.send(p, Msg::ChildLeave);
         }
         self.state.parent = None;
         self.orphaned_at = Some(ctx.now());
         ctx.stats.recovery.orphan_events += 1;
+        // Proactive path first: direct requests at pre-validated backup
+        // parents cost one RTT instead of a full walk.
+        if self.cfg.resilience.is_some() && self.start_failover(ctx, dead) {
+            return;
+        }
         let start = self.state.grandparent.unwrap_or(self.source);
         self.start_walk(ctx, WalkPurpose::Reconnect, start);
     }
@@ -406,6 +953,11 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             );
         }
         self.broadcast_root_path(ctx);
+        // The new parent cannot be its own backup; free its slot.
+        self.candidates.retain(|c| c.host != parent);
+        let mut anc = vec![parent];
+        anc.extend(grandparent);
+        self.set_ancestors(ctx, anc);
         self.ever_connected = true;
         self.fail_streak = 0;
         self.last_data_at = ctx.now();
@@ -416,6 +968,9 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
 
     fn finish_walk(&mut self, ctx: &mut Ctx<'_>, outcome: WalkOutcome) {
         let walk = self.walk.take().expect("finishing an active walk");
+        if self.cfg.resilience.is_some() {
+            self.merge_candidates(walk.harvest(), ctx.now());
+        }
         match outcome {
             WalkOutcome::Connected {
                 parent,
@@ -510,8 +1065,10 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         // loop the tree.
         if !self.state.connected()
             || self.walk.is_some()
+            || self.failover.is_some()
             || Some(from) == self.state.parent
             || (self.cfg.maintain_root_path && self.state.root_path.contains(&from))
+            || (self.cfg.resilience.is_some() && self.ancestors.contains(&from))
         {
             ctx.send(
                 from,
@@ -554,6 +1111,7 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             self.arm_heartbeat(ctx);
             let msg = accept(self, actual);
             ctx.send(from, msg);
+            self.gossip_ancestors_to(ctx, from);
             return;
         }
         if self.state.has_child(from) {
@@ -563,32 +1121,37 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             self.note_child_alive(from, ctx.now());
             let msg = accept(self, Vec::new());
             ctx.send(from, msg);
+            self.gossip_ancestors_to(ctx, from);
         } else if self.state.free_degree() > 0 {
-            self.state.add_child(from, vdist);
-            self.note_child_alive(from, ctx.now());
-            self.arm_heartbeat(ctx);
-            let msg = accept(self, Vec::new());
-            ctx.send(from, msg);
+            if let Some(a) = self.cfg.admission {
+                // Rejoin-storm control: plain new-child admissions pay
+                // a token; a dry bucket parks the joiner in a bounded
+                // queue, and overflow is shed to a sibling.
+                self.admit_refill(ctx.now(), &a);
+                if self.admit_tokens >= 1.0 {
+                    self.admit_tokens -= 1.0;
+                    self.accept_new_child(ctx, from, nonce, vdist);
+                } else if self.admit_queue.len() < a.queue {
+                    ctx.stats.recovery.joins_throttled += 1;
+                    self.admit_queue.push_back(QueuedJoin {
+                        from,
+                        nonce,
+                        vdist,
+                        at: ctx.now(),
+                    });
+                    self.arm_admit_timer(ctx, &a);
+                } else {
+                    ctx.stats.recovery.joins_shed += 1;
+                    self.redirect_or_reject(ctx, from, nonce);
+                }
+            } else {
+                self.accept_new_child(ctx, from, nonce, vdist);
+            }
         } else {
             // Full: point the requester at our closest child (§3.2 "it
             // connects to the closest free child"; the child redirects
             // again if it is itself full).
-            match self.state.closest_child(&[from]) {
-                Some((next, _)) => ctx.send(
-                    from,
-                    Msg::ConnResp {
-                        nonce,
-                        result: ConnResult::Redirect { next },
-                    },
-                ),
-                None => ctx.send(
-                    from,
-                    Msg::ConnResp {
-                        nonce,
-                        result: ConnResult::Rejected,
-                    },
-                ),
-            }
+            self.redirect_or_reject(ctx, from, nonce);
         }
     }
 
@@ -619,11 +1182,27 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
         if let Some(p) = self.state.parent {
             ctx.send(p, Msg::ChildLeave);
         }
+        // Flush the admission queue so parked walkers fail fast instead
+        // of timing out against a gone host.
+        for q in std::mem::take(&mut self.admit_queue) {
+            ctx.send(
+                q.from,
+                Msg::ConnResp {
+                    nonce: q.nonce,
+                    result: ConnResult::Rejected,
+                },
+            );
+        }
         self.state.reset();
         self.walk = None;
         self.fail_streak = 0;
         self.last_chunk_at = None;
         self.pc_seen.clear();
+        self.ancestors.clear();
+        self.candidates.clear();
+        self.failover = None;
+        self.ring.clear();
+        self.gaps.clear();
     }
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg) {
@@ -649,6 +1228,16 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                 self.handle_conn_req(ctx, from, nonce, kind, vdist)
             }
             m @ (Msg::InfoResp { .. } | Msg::Pong { .. } | Msg::ConnResp { .. }) => {
+                if let Msg::ConnResp { nonce, result } = &m {
+                    if self
+                        .failover
+                        .as_ref()
+                        .is_some_and(|f| f.nonce == *nonce && f.target == from)
+                    {
+                        self.on_failover_resp(ctx, from, result.clone());
+                        return;
+                    }
+                }
                 if let Some(mut walk) = self.walk.take() {
                     let free = self.state.free_degree();
                     let outcome = walk.on_msg(ctx, from, &m, &self.policy, free);
@@ -696,6 +1285,10 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                             },
                         );
                     }
+                    // The splicer slots in directly above us.
+                    let mut anc = vec![from];
+                    anc.extend(self.ancestors.clone());
+                    self.set_ancestors(ctx, anc);
                 } else {
                     ctx.send(from, Msg::ChildLeave);
                 }
@@ -703,6 +1296,16 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
             Msg::GrandparentChange { new_grandparent } => {
                 if Some(from) == self.state.parent {
                     self.state.grandparent = Some(new_grandparent);
+                    // Deeper ancestors are stale until the parent's
+                    // AncestorList gossip arrives.
+                    self.set_ancestors(ctx, vec![from, new_grandparent]);
+                }
+            }
+            Msg::AncestorList { ancestors } => {
+                if self.cfg.resilience.is_some() && Some(from) == self.state.parent {
+                    let mut anc = vec![from];
+                    anc.extend(ancestors);
+                    self.set_ancestors(ctx, anc);
                 }
             }
             Msg::RootPath { path } => {
@@ -731,22 +1334,35 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                 self.state.remove_child(from);
                 self.hb_seen.retain(|(h, _)| *h != from);
             }
-            Msg::Data { seq } => {
-                if Some(from) == self.state.parent && self.state.accept_seq(seq) {
-                    ctx.stats.received[ctx.me.idx()] += 1;
-                    let now = ctx.now();
-                    if let (Some(thr), Some(prev)) = (self.cfg.gap_threshold, self.last_chunk_at) {
-                        let gap = now.saturating_sub(prev);
-                        if gap >= thr {
-                            ctx.stats
-                                .recovery
-                                .delivery_gaps
-                                .push((now.as_secs(), gap.as_secs()));
+            Msg::Nack { seqs } => {
+                if self.cfg.repair.is_some() && self.state.has_child(from) {
+                    for seq in seqs {
+                        if self.ring.contains(seq) {
+                            ctx.send(from, Msg::Data { seq });
                         }
                     }
-                    self.last_chunk_at = Some(now);
-                    self.last_data_at = now;
-                    self.forward_data(ctx, seq);
+                }
+            }
+            Msg::Data { seq } => {
+                if Some(from) != self.state.parent {
+                    return;
+                }
+                if let Some(rc) = self.cfg.repair {
+                    match self.gaps.on_chunk(seq, self.state.last_seq, ctx.now(), &rc) {
+                        ChunkClass::Fresh => {
+                            self.state.last_seq = Some(seq);
+                            self.deliver_chunk(ctx, seq, true);
+                            self.sync_lost(ctx);
+                            self.arm_repair_timer(ctx);
+                        }
+                        ChunkClass::Repaired => {
+                            ctx.stats.recovery.chunks_repaired += 1;
+                            self.deliver_chunk(ctx, seq, false);
+                        }
+                        ChunkClass::Duplicate => {}
+                    }
+                } else if self.state.accept_seq(seq) {
+                    self.deliver_chunk(ctx, seq, true);
                 }
             }
         }
@@ -760,6 +1376,16 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                 self.walk = Some(walk);
                 if let Some(out) = outcome {
                     self.finish_walk(ctx, out);
+                }
+            }
+            return;
+        }
+        if token & FAILOVER_TOKEN_BIT != 0 {
+            let nonce = token & !FAILOVER_TOKEN_BIT;
+            if self.failover.as_ref().is_some_and(|f| f.nonce == nonce) && !self.state.connected() {
+                // The attempt timed out (target crashed or unreachable).
+                if !self.failover_try_next(ctx) {
+                    self.failover_fall_back_to_walk(ctx);
                 }
             }
             return;
@@ -810,15 +1436,50 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                     ctx.timer(hb.period, HEARTBEAT_TOKEN);
                 }
             }
+            ADMIT_TOKEN => {
+                if let Some(a) = self.cfg.admission {
+                    self.admit_armed = false;
+                    self.drain_admit_queue(ctx, &a);
+                }
+            }
+            REPAIR_TOKEN => {
+                if let Some(rc) = self.cfg.repair {
+                    self.repair_armed = false;
+                    let batch = self.gaps.due_nacks(ctx.now(), &rc);
+                    self.sync_lost(ctx);
+                    if !batch.is_empty() {
+                        // Orphans hold their NACKs; the retry state was
+                        // bumped, so they re-fire after reconnecting.
+                        if let Some(p) = self.state.parent {
+                            ctx.stats.recovery.nacks_sent += 1;
+                            ctx.send(p, Msg::Nack { seqs: batch });
+                        }
+                    }
+                    self.arm_repair_timer(ctx);
+                }
+            }
             RETRY_TOKEN
-                if !self.state.connected() && !self.state.is_source && self.walk.is_none() =>
+                if !self.state.connected()
+                    && !self.state.is_source
+                    && self.walk.is_none()
+                    && self.failover.is_none() =>
             {
                 let purpose = if self.ever_connected {
                     WalkPurpose::Reconnect
                 } else {
                     WalkPurpose::Join
                 };
-                let start = self.state.grandparent.unwrap_or(self.source);
+                // With resilience on, rotate the anchor deeper into the
+                // ancestor list as the fail streak grows: a dead
+                // grandparent stops costing a full walk timeout on
+                // every single retry.
+                let start = match self.cfg.resilience {
+                    Some(_) if !self.ancestors.is_empty() => {
+                        let i = (self.fail_streak as usize).min(self.ancestors.len() - 1);
+                        self.ancestors[i]
+                    }
+                    _ => self.state.grandparent.unwrap_or(self.source),
+                };
                 self.start_walk(ctx, purpose, start);
             }
             _ => {}
@@ -827,6 +1488,9 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
 
     fn emit_data(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
         debug_assert!(self.state.is_source);
+        if self.cfg.repair.is_some() {
+            self.ring.record(seq);
+        }
         self.forward_data(ctx, seq);
     }
 
@@ -1442,6 +2106,225 @@ mod tests {
                 path: vec![HostId(7), HostId(1), HostId(0)]
             }]
         );
+    }
+
+    fn resilient_cfg() -> AgentConfig {
+        AgentConfig {
+            resilience: Some(ResilienceConfig::default()),
+            ..AgentConfig::default()
+        }
+    }
+
+    /// An orphan with a fresh backup candidate sends it a direct
+    /// ConnReq instead of walking, and attaches on acceptance.
+    #[test]
+    fn orphan_fails_over_to_backup_candidate_without_a_walk() {
+        let (mut eng, mut w) = harness(resilient_cfg(), false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.grandparent = Some(HostId(2));
+        w.agent.candidates.push(Candidate {
+            host: HostId(5),
+            vdist: 3.0,
+            seen_at: SimTime::ZERO,
+        });
+        inject(&mut eng, &mut w, HostId(1), Msg::Leave);
+        assert!(w.agent.walk.is_none(), "failover must not start a walk");
+        assert!(w.agent.failover.is_some());
+        let sent = take_to(&mut w, HostId(5));
+        let Some(Msg::ConnReq {
+            nonce,
+            kind: ConnKind::Child,
+            ..
+        }) = sent.first()
+        else {
+            panic!("expected a direct ConnReq at the candidate, got {sent:?}");
+        };
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(5),
+            Msg::ConnResp {
+                nonce: *nonce,
+                result: ConnResult::Accepted {
+                    grandparent: Some(HostId(2)),
+                    adopted: vec![],
+                    root_path: vec![],
+                },
+            },
+        );
+        assert_eq!(w.agent.state.parent, Some(HostId(5)));
+        assert!(w.agent.failover.is_none());
+        assert!(w.agent.walk.is_none());
+    }
+
+    /// When every failover target refuses, the orphan falls back to the
+    /// §3.3 grandparent walk.
+    #[test]
+    fn failover_rejection_falls_back_to_grandparent_walk() {
+        let (mut eng, mut w) = harness(resilient_cfg(), false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.grandparent = Some(HostId(2));
+        w.agent.candidates.push(Candidate {
+            host: HostId(5),
+            vdist: 3.0,
+            seen_at: SimTime::ZERO,
+        });
+        inject(&mut eng, &mut w, HostId(1), Msg::Leave);
+        let sent = take_to(&mut w, HostId(5));
+        let Some(Msg::ConnReq { nonce, .. }) = sent.first() else {
+            panic!("expected ConnReq, got {sent:?}");
+        };
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(5),
+            Msg::ConnResp {
+                nonce: *nonce,
+                result: ConnResult::Rejected,
+            },
+        );
+        assert!(w.agent.failover.is_none());
+        assert!(w.agent.walk.is_some(), "exhausted failover must walk");
+        let to_gp = take_to(&mut w, HostId(2));
+        assert!(
+            to_gp.iter().any(|m| matches!(m, Msg::InfoReq { .. })),
+            "walk must anchor at the grandparent, got {to_gp:?}"
+        );
+    }
+
+    /// Ancestor gossip from the parent is prefixed with the parent and
+    /// forwarded down to children.
+    #[test]
+    fn ancestor_gossip_propagates_down() {
+        let (mut eng, mut w) = harness(resilient_cfg(), false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.add_child(HostId(3), 4.0);
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(1),
+            Msg::AncestorList {
+                ancestors: vec![HostId(2), HostId(7)],
+            },
+        );
+        assert_eq!(w.agent.ancestors, vec![HostId(1), HostId(2), HostId(7)]);
+        assert_eq!(
+            take_to(&mut w, HostId(3)),
+            vec![Msg::AncestorList {
+                ancestors: vec![HostId(1), HostId(2), HostId(7)],
+            }]
+        );
+    }
+
+    /// With the bucket dry, a plain join is queued and admitted once a
+    /// token refills — never silently dropped.
+    #[test]
+    fn admission_throttles_then_admits_queued_join() {
+        let cfg = AgentConfig {
+            admission: Some(AdmissionConfig {
+                rate_per_s: 1.0,
+                burst: 1.0,
+                queue: 2,
+                max_wait: SimTime::from_secs(10),
+            }),
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        w.agent.state.parent = Some(HostId(1));
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(4),
+            Msg::ConnReq {
+                nonce: 1,
+                kind: ConnKind::Child,
+                vdist: 5.0,
+            },
+        );
+        assert!(
+            w.agent.state.has_child(HostId(4)),
+            "first join takes the token"
+        );
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(5),
+            Msg::ConnReq {
+                nonce: 2,
+                kind: ConnKind::Child,
+                vdist: 6.0,
+            },
+        );
+        assert!(
+            take_to(&mut w, HostId(5)).is_empty(),
+            "second join is parked"
+        );
+        assert_eq!(w.agent.admit_queue.len(), 1);
+        // A token refills after ~1 s and the queue drains.
+        let until = eng.now() + SimTime::from_secs(2);
+        eng.run(&mut w, until);
+        assert!(w.agent.state.has_child(HostId(5)));
+        let sent = take_to(&mut w, HostId(5));
+        assert!(sent.iter().any(|m| matches!(
+            m,
+            Msg::ConnResp {
+                nonce: 2,
+                result: ConnResult::Accepted { .. }
+            }
+        )));
+    }
+
+    /// A watermark jump NACKs the missing chunks to the parent, and a
+    /// retransmission fills the hole and is forwarded downstream.
+    #[test]
+    fn gap_triggers_nack_and_repair_fills_hole() {
+        let cfg = AgentConfig {
+            repair: Some(RepairConfig::default()),
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.add_child(HostId(3), 4.0);
+        inject(&mut eng, &mut w, HostId(1), Msg::Data { seq: 1 });
+        inject(&mut eng, &mut w, HostId(1), Msg::Data { seq: 4 });
+        // inject() runs 300 ms per call, past the 250 ms NACK delay.
+        let to_parent = take_to(&mut w, HostId(1));
+        assert!(
+            to_parent.contains(&Msg::Nack { seqs: vec![2, 3] }),
+            "expected a NACK for the hole, got {to_parent:?}"
+        );
+        let _ = take_to(&mut w, HostId(3));
+        // The parent retransmits chunk 2: delivered and forwarded.
+        inject(&mut eng, &mut w, HostId(1), Msg::Data { seq: 2 });
+        assert_eq!(take_to(&mut w, HostId(3)), vec![Msg::Data { seq: 2 }]);
+        assert_eq!(w.agent.state.last_seq, Some(4));
+        assert_eq!(w.agent.gaps.pending(), 1);
+        // A duplicate of the repaired chunk is dropped.
+        inject(&mut eng, &mut w, HostId(1), Msg::Data { seq: 2 });
+        assert!(take_to(&mut w, HostId(3)).is_empty());
+    }
+
+    /// The parent side: NACKed chunks present in the retransmit ring
+    /// are resent to the requesting child.
+    #[test]
+    fn parent_answers_nack_from_its_ring() {
+        let cfg = AgentConfig {
+            repair: Some(RepairConfig::default()),
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        w.agent.state.parent = Some(HostId(1));
+        w.agent.state.add_child(HostId(3), 4.0);
+        for seq in 1..=3 {
+            inject(&mut eng, &mut w, HostId(1), Msg::Data { seq });
+        }
+        let _ = take_to(&mut w, HostId(3));
+        inject(&mut eng, &mut w, HostId(3), Msg::Nack { seqs: vec![2, 99] });
+        // 2 is in the ring, 99 is not.
+        assert_eq!(take_to(&mut w, HostId(3)), vec![Msg::Data { seq: 2 }]);
+        // NACKs from non-children are ignored.
+        inject(&mut eng, &mut w, HostId(6), Msg::Nack { seqs: vec![2] });
+        assert!(take_to(&mut w, HostId(6)).is_empty());
     }
 
     #[test]

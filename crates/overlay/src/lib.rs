@@ -34,16 +34,18 @@ pub mod driver;
 pub mod metrics;
 pub mod msg;
 pub mod peer;
+pub mod repair;
 pub mod scenario;
 pub mod stats;
 pub mod sync;
 pub mod tree;
 pub mod walk;
 
-pub use agent::{AgentConfig, Ctx, OverlayAgent, ProtocolAgent};
+pub use agent::{AdmissionConfig, AgentConfig, Ctx, OverlayAgent, ProtocolAgent, ResilienceConfig};
 pub use driver::{Driver, DriverConfig, RunOutput};
 pub use metrics::TreeMetrics;
 pub use msg::Msg;
+pub use repair::{GapTracker, RepairConfig, RetransmitRing};
 pub use scenario::{Action, Scenario};
 pub use stats::{RunStats, SlotMeasurement, Summary};
 pub use tree::TreeSnapshot;

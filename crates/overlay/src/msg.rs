@@ -144,6 +144,23 @@ pub enum Msg {
     Leave,
     /// Child is leaving (or switching away); parent frees the slot.
     ChildLeave,
+    /// Ancestor gossip (proactive-resilience extension): a parent tells
+    /// its children its own current ancestor list, nearest-first and
+    /// *excluding itself* (each child prepends the sender). Orphans use
+    /// the list as pre-validated walk anchors when their grandparent is
+    /// dead too.
+    AncestorList {
+        /// The sender's ancestors, nearest-first (parent, grandparent,
+        /// ...), truncated to the configured depth.
+        ancestors: Vec<HostId>,
+    },
+    /// Negative acknowledgement (gap-repair extension): a child asks its
+    /// parent to retransmit the listed stream chunks out of its
+    /// retransmit ring.
+    Nack {
+        /// Missing chunk sequence numbers, ascending.
+        seqs: Vec<u64>,
+    },
     /// One stream chunk.
     Data {
         /// Monotonically increasing sequence number assigned by the

@@ -1,0 +1,332 @@
+//! NACK-based stream gap repair (proactive-resilience extension).
+//!
+//! The paper's data plane is fire-and-forget: a chunk lost to an outage
+//! (orphaned subtree, message drop) is gone, and
+//! [`crate::stats::RecoveryStats::delivery_gaps`] can only report the
+//! outage. With repair enabled, every peer keeps a small
+//! [`RetransmitRing`] of the chunk sequence numbers it recently
+//! forwarded, and a [`GapTracker`] over the sequence numbers it is
+//! still missing. A receiver that sees the watermark jump records the
+//! skipped sequences as missing and — after a short delay that lets
+//! plain reordering settle — NACKs them to its current parent, which
+//! answers out of its ring. Chunks recovered this way are forwarded
+//! downstream like any other, so repair cascades through a subtree that
+//! was dark together. Missing chunks that exhaust their NACK budget (or
+//! fall out of the bounded window) are declared lost, which makes the
+//! residual loss rate a *post-repair* figure.
+//!
+//! Everything here is plain bookkeeping: no timers, no randomness. The
+//! agent owns scheduling (one repair timer, armed only while something
+//! is missing), so runs without a [`RepairConfig`] execute exactly the
+//! same event sequence as before the extension existed.
+
+use std::collections::VecDeque;
+use vdm_netsim::SimTime;
+
+/// Tunables of the gap-repair machinery.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairConfig {
+    /// Chunk sequence numbers retained for retransmission.
+    pub ring: usize,
+    /// How far behind the watermark a missing chunk may trail before it
+    /// is declared lost (bounds both memory and NACK traffic after a
+    /// long outage).
+    pub window: u64,
+    /// Delay between detecting a gap and the first NACK (lets ordinary
+    /// reordering fill the hole for free).
+    pub nack_delay: SimTime,
+    /// Spacing between NACK retries for the same chunk.
+    pub nack_period: SimTime,
+    /// NACK attempts per missing chunk before giving up.
+    pub nack_retries: u32,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self {
+            ring: 64,
+            window: 64,
+            nack_delay: SimTime::from_ms(250.0),
+            nack_period: SimTime::from_secs(1),
+            nack_retries: 3,
+        }
+    }
+}
+
+/// Fixed-capacity ascending buffer of the chunk sequence numbers a peer
+/// can retransmit. The stream is near-monotone, so inserts are O(1)
+/// appends in the common case; the eviction policy is strictly
+/// lowest-first (oldest content).
+#[derive(Clone, Debug)]
+pub struct RetransmitRing {
+    cap: usize,
+    seqs: VecDeque<u64>,
+}
+
+impl RetransmitRing {
+    /// Ring holding at most `cap` sequence numbers.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            seqs: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Record a forwarded chunk. Duplicates are ignored; the lowest
+    /// sequence number is evicted once the ring is full.
+    pub fn record(&mut self, seq: u64) {
+        match self.seqs.back() {
+            Some(&last) if seq > last => self.seqs.push_back(seq),
+            Some(_) => {
+                // Out-of-order record (a repaired chunk): sorted insert.
+                match self.seqs.binary_search(&seq) {
+                    Ok(_) => return,
+                    Err(pos) => self.seqs.insert(pos, seq),
+                }
+            }
+            None => self.seqs.push_back(seq),
+        }
+        if self.seqs.len() > self.cap {
+            self.seqs.pop_front();
+        }
+    }
+
+    /// Can `seq` be retransmitted from here?
+    pub fn contains(&self, seq: u64) -> bool {
+        self.seqs.binary_search(&seq).is_ok()
+    }
+
+    /// Number of retained sequence numbers.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Drop everything (peer left the session).
+    pub fn clear(&mut self) {
+        self.seqs.clear();
+    }
+}
+
+/// One chunk the receiver knows it skipped.
+#[derive(Clone, Copy, Debug)]
+struct Missing {
+    seq: u64,
+    /// NACKs already sent for this chunk.
+    nacks: u32,
+    /// Earliest time the next NACK (or the give-up) may fire.
+    due_at: SimTime,
+}
+
+/// What [`GapTracker::on_chunk`] decided about an arriving chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkClass {
+    /// Advances the watermark; deliver and forward.
+    Fresh,
+    /// Fills a known hole behind the watermark; deliver and forward.
+    Repaired,
+    /// Already delivered (or given up on); drop.
+    Duplicate,
+}
+
+/// Receiver-side bookkeeping of missing chunk sequence numbers.
+#[derive(Clone, Debug, Default)]
+pub struct GapTracker {
+    missing: Vec<Missing>,
+    /// Chunks declared lost after exhausting their NACK budget or
+    /// falling out of the window (post-repair loss).
+    pub lost: u64,
+}
+
+impl GapTracker {
+    /// Classify an arriving chunk against the watermark `last_seq`
+    /// (`None` before the first delivery), recording any newly skipped
+    /// sequences as missing. The caller advances the watermark itself
+    /// on [`ChunkClass::Fresh`].
+    pub fn on_chunk(
+        &mut self,
+        seq: u64,
+        last_seq: Option<u64>,
+        now: SimTime,
+        cfg: &RepairConfig,
+    ) -> ChunkClass {
+        match last_seq {
+            None => ChunkClass::Fresh,
+            Some(last) if seq > last => {
+                // Sequences we jumped over become repair candidates,
+                // newest-window only: after a long outage everything
+                // older than `window` is lost outright.
+                let first_wanted = seq.saturating_sub(cfg.window).max(last + 1);
+                self.lost += first_wanted - (last + 1);
+                for s in first_wanted..seq {
+                    self.missing.push(Missing {
+                        seq: s,
+                        nacks: 0,
+                        due_at: now + cfg.nack_delay,
+                    });
+                }
+                // The window also bounds the backlog as the watermark
+                // advances past older holes.
+                self.expire_below(seq.saturating_sub(cfg.window));
+                ChunkClass::Fresh
+            }
+            Some(_) => {
+                let before = self.missing.len();
+                self.missing.retain(|m| m.seq != seq);
+                if self.missing.len() != before {
+                    ChunkClass::Repaired
+                } else {
+                    ChunkClass::Duplicate
+                }
+            }
+        }
+    }
+
+    fn expire_below(&mut self, floor: u64) {
+        let before = self.missing.len();
+        self.missing.retain(|m| m.seq >= floor);
+        self.lost += (before - self.missing.len()) as u64;
+    }
+
+    /// Collect the sequence numbers whose NACK is due, bumping their
+    /// retry state; chunks out of retries are declared lost. Returns
+    /// the NACK batch (empty if nothing is due yet).
+    pub fn due_nacks(&mut self, now: SimTime, cfg: &RepairConfig) -> Vec<u64> {
+        let mut batch = Vec::new();
+        let mut lost = 0u64;
+        self.missing.retain_mut(|m| {
+            if m.due_at > now {
+                return true;
+            }
+            if m.nacks >= cfg.nack_retries {
+                lost += 1;
+                return false;
+            }
+            m.nacks += 1;
+            m.due_at = now + cfg.nack_period;
+            batch.push(m.seq);
+            true
+        });
+        self.lost += lost;
+        batch.sort_unstable();
+        batch
+    }
+
+    /// Earliest pending deadline, for timer arming.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.missing.iter().map(|m| m.due_at).min()
+    }
+
+    /// Anything still outstanding?
+    pub fn has_pending(&self) -> bool {
+        !self.missing.is_empty()
+    }
+
+    /// Outstanding hole count.
+    pub fn pending(&self) -> usize {
+        self.missing.len()
+    }
+
+    /// Drop all state (peer left the session).
+    pub fn clear(&mut self) {
+        self.missing.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RepairConfig {
+        RepairConfig::default()
+    }
+
+    #[test]
+    fn ring_records_evicts_lowest_and_finds() {
+        let mut r = RetransmitRing::new(4);
+        assert!(r.is_empty());
+        for s in [1, 2, 3, 4] {
+            r.record(s);
+        }
+        assert_eq!(r.len(), 4);
+        r.record(5); // evicts 1
+        assert!(!r.contains(1));
+        assert!(r.contains(2) && r.contains(5));
+        // Out-of-order (repaired) record lands sorted; duplicate is a no-op.
+        let mut r = RetransmitRing::new(4);
+        r.record(10);
+        r.record(12);
+        r.record(11);
+        r.record(11);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(11));
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn gap_detection_and_repair_classification() {
+        let mut g = GapTracker::default();
+        let t = SimTime::from_secs(1);
+        assert_eq!(g.on_chunk(1, None, t, &cfg()), ChunkClass::Fresh);
+        // 2 and 3 skipped.
+        assert_eq!(g.on_chunk(4, Some(1), t, &cfg()), ChunkClass::Fresh);
+        assert_eq!(g.pending(), 2);
+        assert_eq!(g.on_chunk(2, Some(4), t, &cfg()), ChunkClass::Repaired);
+        assert_eq!(g.on_chunk(2, Some(4), t, &cfg()), ChunkClass::Duplicate);
+        assert_eq!(g.on_chunk(4, Some(4), t, &cfg()), ChunkClass::Duplicate);
+        assert_eq!(g.pending(), 1);
+        assert_eq!(g.lost, 0);
+    }
+
+    #[test]
+    fn long_outage_is_window_bounded() {
+        let mut g = GapTracker::default();
+        let c = RepairConfig {
+            window: 10,
+            ..cfg()
+        };
+        let t = SimTime::from_secs(5);
+        // Watermark 10, next arrival 200: only the last 10 holes are
+        // recoverable, the other 179 are lost outright.
+        assert_eq!(g.on_chunk(200, Some(10), t, &c), ChunkClass::Fresh);
+        assert_eq!(g.pending(), 10);
+        assert_eq!(g.lost, 179);
+    }
+
+    #[test]
+    fn nack_scheduling_retries_then_gives_up() {
+        let mut g = GapTracker::default();
+        let c = RepairConfig {
+            nack_retries: 2,
+            ..cfg()
+        };
+        let t0 = SimTime::from_secs(1);
+        g.on_chunk(4, Some(1), t0, &c); // missing 2, 3
+        assert!(g.due_nacks(t0, &c).is_empty(), "nack delay not elapsed");
+        let t1 = t0 + c.nack_delay;
+        assert_eq!(g.due_nacks(t1, &c), vec![2, 3]);
+        // Chunk 3 gets repaired; chunk 2 exhausts its retries.
+        assert_eq!(g.on_chunk(3, Some(4), t1, &c), ChunkClass::Repaired);
+        let t2 = t1 + c.nack_period;
+        assert_eq!(g.due_nacks(t2, &c), vec![2]);
+        let t3 = t2 + c.nack_period;
+        assert!(g.due_nacks(t3, &c).is_empty());
+        assert!(!g.has_pending());
+        assert_eq!(g.lost, 1);
+        assert_eq!(g.next_due(), None);
+    }
+
+    #[test]
+    fn next_due_tracks_earliest_deadline() {
+        let mut g = GapTracker::default();
+        let c = cfg();
+        let t0 = SimTime::from_secs(1);
+        g.on_chunk(3, Some(1), t0, &c);
+        assert_eq!(g.next_due(), Some(t0 + c.nack_delay));
+    }
+}

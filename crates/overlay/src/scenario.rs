@@ -40,6 +40,33 @@ pub struct Scenario {
     pub crash_seed: u64,
 }
 
+/// Parameters for [`Scenario::soak`] (sustained-churn robustness runs,
+/// ablation A8).
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Steady-state overlay population.
+    pub members: usize,
+    /// Initial join phase length, seconds.
+    pub warmup_s: f64,
+    /// Churn phase length, seconds (starts after the warmup).
+    pub duration_s: f64,
+    /// Rate of the Poisson process of individual graceful departures
+    /// during the churn phase, events per second (0 disables).
+    pub churn_rate_per_s: f64,
+    /// Interval between correlated crash bursts, seconds (0 disables).
+    /// Every burst crashes `burst_frac` of the in-session members at the
+    /// *same* timestamp — the pathological case for grandparent-only
+    /// recovery, since a crashed peer's grandparent is likely dead too.
+    pub burst_every_s: f64,
+    /// Fraction of in-session members crashed per burst, in `[0, 1]`.
+    pub burst_frac: f64,
+    /// Measurement cadence, seconds.
+    pub measure_every_s: f64,
+    /// Quiet tail after the churn phase, seconds: no departures, rejoins
+    /// drain, measurements continue (post-repair state is read here).
+    pub quiet_tail_s: f64,
+}
+
 /// Parameters for [`Scenario::churn`].
 #[derive(Clone, Copy, Debug)]
 pub struct ChurnConfig {
@@ -108,6 +135,133 @@ impl Scenario {
         }
 
         let end = SimTime::from_ms((cfg.warmup_s + cfg.slots as f64 * cfg.slot_s + 1.0) * 1000.0);
+        let crash_seed = rng.gen();
+        Self::finish(actions, end, crash_seed)
+    }
+
+    /// Sustained-churn soak schedule (ablation A8): after a warmup join
+    /// phase, individual members depart as a Poisson process
+    /// (`churn_rate_per_s`) and every `burst_every_s` a correlated burst
+    /// crashes `burst_frac` of the in-session members at one timestamp.
+    /// Every departed member schedules a staggered rejoin a few seconds
+    /// later (the rejoin *storm* that admission control absorbs).
+    /// Measurements run every `measure_every_s` through the churn phase
+    /// and the quiet tail. Fully determined by `cfg` and `seed`.
+    pub fn soak(cfg: &SoakConfig, candidates: &[HostId], seed: u64) -> Self {
+        assert!(cfg.members >= 2 && candidates.len() >= cfg.members);
+        assert!(cfg.warmup_s >= 0.0 && cfg.duration_s > 0.0);
+        assert!((0.0..=1.0).contains(&cfg.burst_frac));
+        assert!(cfg.measure_every_s > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x736f_616b);
+        let mut actions = Vec::new();
+
+        // Initial population joins at uniform times over the warmup.
+        let mut pool = candidates.to_vec();
+        shuffle(&mut pool, &mut rng);
+        let mut inside: Vec<HostId> = pool[..cfg.members].to_vec();
+        for &h in &inside {
+            let t = rng.gen_range(0.0..cfg.warmup_s.max(1.0));
+            actions.push((SimTime::from_ms(t * 1000.0), Action::Join(h)));
+        }
+
+        let churn_end = cfg.warmup_s + cfg.duration_s;
+        let horizon = churn_end + cfg.quiet_tail_s;
+
+        // Event timeline of the churn phase, merged in time order so the
+        // RNG draws (member selection, rejoin stagger) happen in a
+        // deterministic order.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Ev {
+            Depart,
+            Burst,
+        }
+        let mut events: Vec<(f64, Ev)> = Vec::new();
+        if cfg.churn_rate_per_s > 0.0 {
+            let mut t = cfg.warmup_s;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / cfg.churn_rate_per_s;
+                if t >= churn_end {
+                    break;
+                }
+                events.push((t, Ev::Depart));
+            }
+        }
+        if cfg.burst_every_s > 0.0 && cfg.burst_frac > 0.0 {
+            let mut k = 1usize;
+            loop {
+                let t = cfg.warmup_s + k as f64 * cfg.burst_every_s;
+                if t >= churn_end {
+                    break;
+                }
+                events.push((t, Ev::Burst));
+                k += 1;
+            }
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Pending rejoins, kept sorted by (time, host) and drained into
+        // the membership set as the cursor passes them. The Join action
+        // itself is pushed at scheduling time; this queue only tracks
+        // *membership* so later selections see the right inside-set.
+        let mut rejoins: Vec<(f64, HostId)> = Vec::new();
+        let schedule_rejoin =
+            |h: HostId, now: f64, rng: &mut StdRng, actions: &mut Vec<(SimTime, Action)>| {
+                let back = now + rng.gen_range(1.0..5.0);
+                actions.push((SimTime::from_ms(back * 1000.0), Action::Join(h)));
+                (back, h)
+            };
+        for (t, ev) in events {
+            // Drain rejoins due by now (sorted insertion keeps order).
+            while rejoins.first().is_some_and(|&(rt, _)| rt <= t) {
+                inside.push(rejoins.remove(0).1);
+            }
+            match ev {
+                Ev::Depart => {
+                    if inside.len() < 2 {
+                        continue;
+                    }
+                    let i = rng.gen_range(0..inside.len());
+                    let h = inside.swap_remove(i);
+                    actions.push((SimTime::from_ms(t * 1000.0), Action::Leave(h)));
+                    let r = schedule_rejoin(h, t, &mut rng, &mut actions);
+                    let at = rejoins.partition_point(|&(rt, rh)| (rt, rh) < r);
+                    rejoins.insert(at, r);
+                }
+                Ev::Burst => {
+                    let n = ((cfg.burst_frac * inside.len() as f64).round() as usize)
+                        .min(inside.len().saturating_sub(1));
+                    let t_burst = SimTime::from_ms(t * 1000.0);
+                    for _ in 0..n {
+                        let i = rng.gen_range(0..inside.len());
+                        let h = inside.swap_remove(i);
+                        actions.push((t_burst, Action::Crash(h)));
+                        let r = schedule_rejoin(h, t, &mut rng, &mut actions);
+                        let at = rejoins.partition_point(|&(rt, rh)| (rt, rh) < r);
+                        rejoins.insert(at, r);
+                    }
+                }
+            }
+        }
+
+        // Measurements: every `measure_every_s` from the end of the
+        // warmup through the quiet tail, plus one final snapshot.
+        let mut k = 0usize;
+        let mut last_measure = f64::NEG_INFINITY;
+        loop {
+            let t = cfg.warmup_s + k as f64 * cfg.measure_every_s;
+            if t > horizon {
+                break;
+            }
+            actions.push((SimTime::from_ms(t * 1000.0), Action::Measure));
+            last_measure = t;
+            k += 1;
+        }
+        if last_measure < horizon {
+            actions.push((SimTime::from_ms(horizon * 1000.0), Action::Measure));
+        }
+
+        let end = SimTime::from_ms((horizon + 1.0) * 1000.0);
         let crash_seed = rng.gen();
         Self::finish(actions, end, crash_seed)
     }
@@ -354,6 +508,91 @@ mod tests {
         assert!(matches!(sc.actions[0].1, Action::Join(_)));
         let crashed = sc.with_crashes(1.0);
         assert_eq!(crashed.num_crashes(), 1);
+    }
+
+    fn soak_cfg() -> SoakConfig {
+        SoakConfig {
+            members: 16,
+            warmup_s: 60.0,
+            duration_s: 300.0,
+            churn_rate_per_s: 0.05,
+            burst_every_s: 100.0,
+            burst_frac: 0.25,
+            measure_every_s: 50.0,
+            quiet_tail_s: 60.0,
+        }
+    }
+
+    #[test]
+    fn soak_membership_replay_is_consistent() {
+        let sc = Scenario::soak(&soak_cfg(), &hosts(16), 11);
+        // Every departure is eventually matched by a rejoin, so joins =
+        // initial population + departures.
+        assert_eq!(
+            sc.num_joins(),
+            16 + sc.num_leaves() + sc.num_crashes(),
+            "every departed member rejoins"
+        );
+        assert!(sc.num_crashes() > 0, "bursts produce crashes");
+        assert!(sc.num_leaves() > 0, "poisson churn produces leaves");
+        // Replay: never join while in, never depart while out.
+        let mut inside = std::collections::HashSet::new();
+        for (_, a) in &sc.actions {
+            match a {
+                Action::Join(h) => assert!(inside.insert(*h), "double join {h}"),
+                Action::Leave(h) | Action::Crash(h) => {
+                    assert!(inside.remove(h), "phantom departure {h}")
+                }
+                Action::Measure => {}
+            }
+        }
+        // Quiet tail lets every rejoin land: full population at the end.
+        assert_eq!(inside.len(), 16);
+        for w in sc.actions.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(sc.end >= sc.actions.last().unwrap().0);
+    }
+
+    #[test]
+    fn soak_bursts_are_correlated_in_time() {
+        let sc = Scenario::soak(&soak_cfg(), &hosts(16), 3);
+        // Crashes from one burst share a timestamp; with 16 members and
+        // burst_frac 0.25 each burst crashes several at once.
+        let mut by_time = std::collections::HashMap::new();
+        for (t, a) in &sc.actions {
+            if matches!(a, Action::Crash(_)) {
+                *by_time.entry(*t).or_insert(0usize) += 1;
+            }
+        }
+        assert!(
+            by_time.values().any(|&n| n >= 2),
+            "no same-timestamp crash burst found: {by_time:?}"
+        );
+    }
+
+    #[test]
+    fn soak_is_deterministic_per_seed() {
+        let a = Scenario::soak(&soak_cfg(), &hosts(16), 7);
+        let b = Scenario::soak(&soak_cfg(), &hosts(16), 7);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.crash_seed, b.crash_seed);
+        let c = Scenario::soak(&soak_cfg(), &hosts(16), 8);
+        assert_ne!(a.actions, c.actions);
+    }
+
+    #[test]
+    fn soak_mechanism_knobs_disable_cleanly() {
+        let cfg = SoakConfig {
+            churn_rate_per_s: 0.0,
+            burst_every_s: 0.0,
+            ..soak_cfg()
+        };
+        let sc = Scenario::soak(&cfg, &hosts(16), 5);
+        assert_eq!(sc.num_leaves(), 0);
+        assert_eq!(sc.num_crashes(), 0);
+        assert_eq!(sc.num_joins(), 16);
+        assert!(sc.num_measures() > 0);
     }
 
     #[test]

@@ -107,6 +107,36 @@ pub struct RecoveryStats {
     /// Measurement slots that found structural tree errors, as
     /// `(time_s, error_count)` — tree-invariant violations over time.
     pub invariant_violations: Vec<(f64, usize)>,
+    /// Direct failover attempts at pre-validated backup candidates
+    /// (proactive-resilience extension; 0 when the mechanism is off).
+    pub failover_attempts: u64,
+    /// Failover attempts that re-attached without a walk.
+    pub failover_successes: u64,
+    /// NACK messages sent for stream gap repair.
+    pub nacks_sent: u64,
+    /// Stream chunks recovered through NACK repair.
+    pub chunks_repaired: u64,
+    /// Stream chunks declared unrecoverable after repair gave up
+    /// (post-repair loss numerator).
+    pub chunks_lost: u64,
+    /// Join/rejoin requests delayed by token-bucket admission control.
+    pub joins_throttled: u64,
+    /// Join/rejoin requests shed to a sibling (or rejected) because the
+    /// admission queue was full.
+    pub joins_shed: u64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
 }
 
 impl RecoveryStats {
@@ -115,9 +145,19 @@ impl RecoveryStats {
         Summary::of(self.reconnections.iter().map(|&(_, d)| d))
     }
 
+    /// Median time-to-reconnect (0 when no reconnections happened).
+    pub fn reconnect_median(&self) -> f64 {
+        median(self.reconnections.iter().map(|&(_, d)| d).collect())
+    }
+
     /// Summary of delivery-gap durations.
     pub fn gap_summary(&self) -> Summary {
         Summary::of(self.delivery_gaps.iter().map(|&(_, d)| d))
+    }
+
+    /// Median delivery-gap duration (0 when no gaps were recorded).
+    pub fn gap_median(&self) -> f64 {
+        median(self.delivery_gaps.iter().map(|&(_, d)| d).collect())
     }
 
     /// Total structural errors observed across all measurement slots.
@@ -221,12 +261,25 @@ mod tests {
             reconnections: vec![(100.0, 2.0), (150.0, 4.0)],
             delivery_gaps: vec![(101.0, 6.0)],
             invariant_violations: vec![(60.0, 1), (120.0, 2)],
+            ..RecoveryStats::default()
         };
         assert_eq!(r.reconnect_summary().mean, 3.0);
         assert_eq!(r.reconnect_summary().count, 2);
+        assert_eq!(r.reconnect_median(), 3.0);
         assert_eq!(r.gap_summary().count, 1);
+        assert_eq!(r.gap_median(), 6.0);
         assert_eq!(r.total_violations(), 3);
         assert_eq!(RecoveryStats::default().total_violations(), 0);
+        assert_eq!(RecoveryStats::default().reconnect_median(), 0.0);
+    }
+
+    #[test]
+    fn median_handles_odd_counts() {
+        let r = RecoveryStats {
+            reconnections: vec![(1.0, 9.0), (2.0, 1.0), (3.0, 5.0)],
+            ..RecoveryStats::default()
+        };
+        assert_eq!(r.reconnect_median(), 5.0);
     }
 
     #[test]

@@ -204,16 +204,29 @@ impl<D: Fn(HostId, HostId) -> VDist> SyncOverlay<D> {
         for (orphan, _) in state.children {
             // Detach first (fragment root), then re-walk.
             self.peer_mut(orphan).parent = None;
-            let anchor = self.peer(orphan).grandparent.unwrap_or(self.source);
-            let start = if anchor != leaver && self.in_tree(anchor) {
-                anchor
-            } else {
-                self.source
-            };
+            let start = self.recovery_anchor(orphan, leaver);
             let tr = self.walk(orphan, start, policy, crate::walk::WalkPurpose::Reconnect);
             traces.push((orphan, tr));
         }
         traces
+    }
+
+    /// Walk anchor for an orphan of `leaver`: the recorded grandparent
+    /// if it is alive and is not the leaver itself, else the source.
+    /// The grandparent pointer is a *hint* refreshed only on parent and
+    /// grandparent changes, so it can be stale — it may equal the
+    /// leaver (earlier re-parenting collapsed parent and grandparent
+    /// onto the same host) or name a host that has since left the
+    /// session. Anchoring a recovery walk at a dead host would target a
+    /// peer that cannot answer; the source is always alive, so it is
+    /// the safe fallback (§3.3 prescribes grandparent-then-source).
+    fn recovery_anchor(&self, orphan: HostId, leaver: HostId) -> HostId {
+        let anchor = self.peer(orphan).grandparent.unwrap_or(self.source);
+        if anchor != leaver && self.in_tree(anchor) {
+            anchor
+        } else {
+            self.source
+        }
     }
 
     /// One refinement pass for `h` (§3.4): re-run the join from the
@@ -348,6 +361,51 @@ mod tests {
         assert_eq!(snap.connected_members().len(), 3);
         // 4's grandparent updated to 1 through the re-parenting of 3.
         assert_eq!(ov.peer(HostId(4)).grandparent, Some(HostId(1)));
+    }
+
+    #[test]
+    fn recovery_anchor_skips_dead_grandparent() {
+        // Chain 0-1-2-3-4. Drop 1 first: 2 re-attaches (greedy walk on
+        // the line lands it back under 0), but 3's recorded grandparent
+        // can still point at the departed 1 until the ParentChange
+        // propagates. The anchor must never target a host that is not
+        // in the tree.
+        let mut ov = SyncOverlay::new(6, HostId(0), 2, line_dist);
+        for h in 1..5 {
+            ov.join(HostId(h), 2, &Greedy);
+        }
+        ov.leave(HostId(1), &Greedy);
+        // Force the stale-hint shape explicitly: point 4's grandparent
+        // at the long-gone 1, then drop 4's parent.
+        ov.peer_mut(HostId(4)).grandparent = Some(HostId(1));
+        let parent_of_4 = ov.peer(HostId(4)).parent.unwrap();
+        assert!(!ov.in_tree(HostId(1)));
+        assert_eq!(ov.recovery_anchor(HostId(4), parent_of_4), HostId(0));
+        let traces = ov.leave(parent_of_4, &Greedy);
+        // 4 still reconnects (walk anchored at the source), tree stays
+        // valid.
+        assert!(traces.iter().any(|(h, _)| *h == HostId(4)));
+        let snap = ov.snapshot();
+        assert!(snap.validate(&ov.limits()).is_empty());
+        assert!(ov.peer(HostId(4)).parent.is_some());
+    }
+
+    #[test]
+    fn recovery_anchor_skips_leaver_as_grandparent() {
+        // If re-parenting collapsed parent and grandparent onto the
+        // same host, an orphan of that host must not anchor its walk at
+        // the leaver itself.
+        let mut ov = SyncOverlay::new(4, HostId(0), 3, line_dist);
+        for h in 1..4 {
+            ov.join(HostId(h), 3, &Greedy);
+        }
+        ov.peer_mut(HostId(3)).grandparent = Some(HostId(2));
+        assert_eq!(ov.peer(HostId(3)).parent, Some(HostId(2)));
+        assert_eq!(ov.recovery_anchor(HostId(3), HostId(2)), HostId(0));
+        let traces = ov.leave(HostId(2), &Greedy);
+        assert_eq!(traces.len(), 1);
+        assert!(ov.peer(HostId(3)).parent.is_some());
+        assert!(ov.snapshot().validate(&ov.limits()).is_empty());
     }
 
     #[test]

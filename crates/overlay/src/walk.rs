@@ -244,6 +244,11 @@ pub struct Walk {
     iteration: usize,
     /// Distance to the current parent (refinement baseline), if known.
     refine_baseline: Option<VDist>,
+    /// Every peer this walk measured a virtual distance to (examined
+    /// nodes and probed children alike, duplicates possible). Pure
+    /// bookkeeping with no events of its own; the resilience extension
+    /// harvests it as backup-parent candidates.
+    harvest: Vec<(HostId, VDist)>,
     phase: Phase,
 }
 
@@ -271,6 +276,7 @@ impl Walk {
             generation: gen_base,
             iteration: 0,
             refine_baseline,
+            harvest: Vec::new(),
             phase: Phase::AwaitInfo {
                 sent_at: SimTime::ZERO,
                 retries: 0,
@@ -298,6 +304,11 @@ impl Walk {
     /// Current walk generation (also the nonce of in-flight requests).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Peers this walk measured, in probe order (duplicates possible).
+    pub fn harvest(&self) -> &[(HostId, VDist)] {
+        &self.harvest
     }
 
     fn arm_deadline(&self, ctx: &mut Ctx<'_>) {
@@ -367,6 +378,7 @@ impl Walk {
                     0.0
                 };
                 let d_current = policy.vdist(rtt, loss);
+                self.harvest.push((self.current, d_current));
                 // Probe every reported child except ourselves.
                 let reported: Vec<ChildEntry> = children
                     .iter()
@@ -418,10 +430,12 @@ impl Walk {
                     .find(|e| e.child == child)
                     .map(|e| e.vdist)
                     .unwrap_or(VDist::INFINITY);
+                let d_new_child = policy.vdist(rtt, loss);
+                self.harvest.push((child, d_new_child));
                 results.push(ChildProbe {
                     child,
                     d_parent_child,
-                    d_new_child: policy.vdist(rtt, loss),
+                    d_new_child,
                 });
                 if pending.is_empty() {
                     let d = *d_current;
