@@ -1,0 +1,103 @@
+//! Microbenchmarks of the artifact-cache hot path: key hashing over
+//! typical generator-parameter sets, artifact encode/decode for the
+//! shortest-path matrices the experiment runner caches, and a full
+//! store round trip (lookup hit including the disk read and decode).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdm_topology::cache::{CacheStore, KeyHasher};
+use vdm_topology::transit_stub::{attach_hosts, generate, TransitStubConfig};
+use vdm_topology::waxman::{self, WaxmanConfig};
+use vdm_topology::Apsp;
+
+fn bench_key_hashing(c: &mut Criterion) {
+    c.bench_function("cache_key/typical_params", |b| {
+        b.iter(|| {
+            let mut h = KeyHasher::new();
+            h.feed_str(black_box("transit-stub"))
+                .feed_usize(black_box(201))
+                .feed_f64(black_box(0.02))
+                .feed_u64(black_box(42))
+                .feed_usize(black_box(792));
+            black_box(h.key("ch3-underlay").file_name())
+        })
+    });
+    c.bench_function("cache_key/1k_floats", |b| {
+        let params: Vec<f64> = (0..1000).map(|i| i as f64 * 0.125).collect();
+        b.iter(|| {
+            let mut h = KeyHasher::new();
+            for &p in &params {
+                h.feed_f64(black_box(p));
+            }
+            black_box(h.key("bulk").hash)
+        })
+    });
+}
+
+fn apsp_of(nodes: usize) -> Apsp {
+    let g = waxman::generate(
+        &WaxmanConfig {
+            nodes,
+            ..WaxmanConfig::default()
+        },
+        7,
+    )
+    .graph;
+    Apsp::build(&g)
+}
+
+fn bench_artifact_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_codec");
+    group.sample_size(20);
+    for nodes in [50usize, 200] {
+        let apsp = apsp_of(nodes);
+        let bytes = apsp.to_bytes();
+        group.bench_with_input(BenchmarkId::new("encode", nodes), &apsp, |b, a| {
+            b.iter(|| black_box(a.to_bytes()))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", nodes), &bytes, |b, bs| {
+            b.iter(|| black_box(Apsp::from_bytes(black_box(bs)).expect("valid artifact")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_lookup(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("vdm-bench-cache-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CacheStore::at(&dir);
+
+    // A realistic artifact: the paper-scale transit-stub underlay's
+    // routing table (this is what `ch3_setup` hits every run).
+    let mut g = generate(&TransitStubConfig::paper_792(), 42);
+    let _hosts = attach_hosts(&mut g, 41, 42, 0.0);
+    let apsp = Apsp::build(&g);
+    let key = {
+        let mut h = KeyHasher::new();
+        h.feed_str("bench").feed_u64(42);
+        h.key("bench-apsp")
+    };
+    store.store(&key, &apsp.to_bytes());
+
+    let mut group = c.benchmark_group("store_lookup");
+    group.sample_size(10);
+    group.bench_function("hit_read_and_decode", |b| {
+        b.iter(|| {
+            let bytes = store.load(black_box(&key)).expect("stored artifact");
+            black_box(Apsp::from_bytes(&bytes).expect("valid artifact"))
+        })
+    });
+    group.bench_function("miss_probe", |b| {
+        let absent = KeyHasher::new().feed_u64(9999).key("bench-apsp");
+        b.iter(|| black_box(store.load(black_box(&absent))))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_key_hashing,
+    bench_artifact_codec,
+    bench_store_lookup
+);
+criterion_main!(benches);

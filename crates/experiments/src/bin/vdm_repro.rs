@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]
+//!                    [--cache DIR|--no-cache] [--sequential]
+//! vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]
 //!
 //! families:
 //!   fig3-churn    Figs 3.25–3.28  stress/stretch/loss/overhead vs churn (VDM vs HMTP)
@@ -22,20 +24,26 @@
 //!   all           everything above
 //! ```
 //!
-//! `chaos` runs a deterministic fault schedule (link flaps, a
-//! partition, message duplication/reordering, all combined) against
-//! both protocols and reports recovery times, orphan counts, delivery
-//! gaps and invariant violations with 90 % CIs. `soak` runs sustained
-//! Poisson churn with correlated crash bursts and sweeps the
-//! proactive-resilience mechanisms (backup-parent failover, rejoin
-//! admission control, NACK gap repair) on and off. Both write CSVs to
-//! `results/` unless `--csv` overrides the directory; identical seeds
-//! produce byte-identical output.
+//! Runs fan their simulation cells across a thread pool
+//! (`RAYON_NUM_THREADS` controls the width; `--sequential` or
+//! `VDM_SEQUENTIAL=1` forces the reference in-order path) and merge
+//! results in cell-key order, so output is byte-identical either way.
+//! Expensive pure inputs — generated topologies with their routing
+//! tables, PlanetLab session extracts — are memoized in a
+//! content-addressed artifact cache (default `results/cache`, `--cache
+//! DIR` to move it, `--no-cache` to disable); identical seeds produce
+//! byte-identical output whether artifacts hit or miss.
+//!
+//! `bench` times the runner itself: the A7 chaos grid sequential vs
+//! parallel (asserting the CSVs match byte-for-byte) and a topology
+//! build cold vs warm through a throwaway cache, then writes
+//! `BENCH_runner.json` next to the CSVs.
 
-use std::io::Write;
+use std::io::{self, Write};
 use std::time::Instant;
 use vdm_experiments::figures::{ablation, chaos, compare, complexity, fig3, fig4, fig5, soak};
-use vdm_experiments::{Effort, Table};
+use vdm_experiments::{runner, setup, Effort, Table};
+use vdm_topology::cache;
 
 struct Opts {
     effort: Effort,
@@ -43,21 +51,46 @@ struct Opts {
     csv_dir: Option<String>,
 }
 
-fn emit(tables: &[Table], opts: &Opts) {
-    let mut stdout = std::io::stdout().lock();
-    for t in tables {
-        writeln!(stdout, "{}", t.render()).expect("stdout");
-        if let Some(dir) = &opts.csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = format!("{dir}/{}.csv", t.slug());
-            std::fs::write(&path, t.to_csv()).expect("write csv");
-            writeln!(stdout, "  [csv] {path}").expect("stdout");
-        }
-    }
+/// Wrap an I/O error with enough context ("what file, doing what") that
+/// a read-only `results/` fails with an actionable message instead of a
+/// panic backtrace.
+fn io_ctx(what: impl std::fmt::Display) -> impl FnOnce(io::Error) -> io::Error {
+    move |e| io::Error::new(e.kind(), format!("{what}: {e}"))
 }
 
-fn run_family(name: &str, opts: &Opts) -> bool {
+fn emit(tables: &[Table], opts: &Opts) -> io::Result<()> {
+    let mut stdout = io::stdout().lock();
+    for t in tables {
+        writeln!(stdout, "{}", t.render()).map_err(io_ctx("writing to stdout"))?;
+        if let Some(dir) = &opts.csv_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(io_ctx(format!("creating CSV directory `{dir}`")))?;
+            let path = format!("{dir}/{}.csv", t.slug());
+            std::fs::write(&path, t.to_csv()).map_err(io_ctx(format!("writing CSV `{path}`")))?;
+            writeln!(stdout, "  [csv] {path}").map_err(io_ctx("writing to stdout"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Print the runner/cache counter deltas accumulated since `r0`/`c0`.
+fn print_counters(r0: runner::RunnerStats, c0: cache::CacheStats) {
+    let r = runner::stats();
+    let c = cache::stats();
+    println!(
+        "[runner] cells={} batches={} busy={:.1?}  [cache] hits={} misses={} write_errors={}",
+        r.cells - r0.cells,
+        r.batches - r0.batches,
+        r.busy.saturating_sub(r0.busy),
+        c.hits - c0.hits,
+        c.misses - c0.misses,
+        c.write_errors - c0.write_errors,
+    );
+}
+
+fn run_family(name: &str, opts: &Opts) -> io::Result<bool> {
     let t0 = Instant::now();
+    let (r0, c0) = (runner::stats(), cache::stats());
     let (e, s) = (opts.effort, opts.seed);
     let tables: Vec<Table> = match name {
         "fig3-churn" => fig3::churn_family(e, s),
@@ -85,13 +118,99 @@ fn run_family(name: &str, opts: &Opts) -> bool {
         "fig5-tree" => {
             println!("{}", fig5::sample_trees(s));
             println!("[done fig5-tree in {:.1?}]", t0.elapsed());
-            return true;
+            return Ok(true);
         }
-        _ => return false,
+        _ => return Ok(false),
     };
-    emit(&tables, opts);
+    emit(&tables, opts)?;
+    print_counters(r0, c0);
     println!("[done {name} in {:.1?}]", t0.elapsed());
-    true
+    Ok(true)
+}
+
+/// All tables of a family as one CSV blob, for byte-equality checks.
+fn csv_blob(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(Table::to_csv)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// `vdm-repro bench`: time the chaos grid sequential vs parallel and a
+/// topology build cold vs warm, emit `BENCH_runner.json`.
+fn run_bench(opts: &Opts, smoke: bool) -> io::Result<()> {
+    let effort = if smoke { Effort::Quick } else { opts.effort };
+    let seed = opts.seed;
+    let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Sequential vs parallel on the same grid. No artifact cache here:
+    // a warm cache on the second run would skew the comparison.
+    cache::set_global(None);
+    let r0 = runner::stats();
+    let t0 = Instant::now();
+    let seq = runner::with_mode(runner::ExecMode::Sequential, || {
+        chaos::chaos_recovery(effort, seed)
+    });
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cells = runner::stats().cells - r0.cells;
+    let t1 = Instant::now();
+    let par = runner::with_mode(runner::ExecMode::Parallel, || {
+        chaos::chaos_recovery(effort, seed)
+    });
+    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let csv_identical = csv_blob(&seq) == csv_blob(&par);
+
+    // Cold vs warm topology build through a throwaway cache directory.
+    let bench_dir = std::env::temp_dir().join(format!("vdm-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    cache::set_global(Some(cache::CacheStore::at(&bench_dir)));
+    let c0 = cache::stats();
+    let members = if smoke { 25 } else { effort.ch3_members() };
+    let topo_seed = seed ^ 0xbe;
+    let t2 = Instant::now();
+    let cold = setup::ch3_setup(members, 0.0, topo_seed);
+    let topo_cold_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let t3 = Instant::now();
+    let warm = setup::ch3_setup(members, 0.0, topo_seed);
+    let topo_warm_ms = t3.elapsed().as_secs_f64() * 1e3;
+    let cache_delta = {
+        let c = cache::stats();
+        (c.hits - c0.hits, c.misses - c0.misses)
+    };
+    let artifacts_identical = warm.underlay.graph().to_bytes() == cold.underlay.graph().to_bytes();
+    cache::set_global(None);
+    let _ = std::fs::remove_dir_all(&bench_dir);
+
+    let speedup = |slow: f64, fast: f64| if fast > 0.0 { slow / fast } else { 0.0 };
+    let json = format!(
+        "{{\n  \"bench\": \"runner\",\n  \"smoke\": {smoke},\n  \"effort\": \"{effort:?}\",\n  \
+         \"seed\": {seed},\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \
+         \"workload\": \"chaos_recovery\",\n  \"cells\": {cells},\n  \
+         \"seq_ms\": {seq_ms:.2},\n  \"par_ms\": {par_ms:.2},\n  \
+         \"parallel_speedup\": {:.3},\n  \"csv_identical\": {csv_identical},\n  \
+         \"topo_members\": {members},\n  \"topo_cold_ms\": {topo_cold_ms:.2},\n  \
+         \"topo_warm_ms\": {topo_warm_ms:.2},\n  \"cache_speedup\": {:.3},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"artifacts_identical\": {artifacts_identical}\n}}\n",
+        speedup(seq_ms, par_ms),
+        speedup(topo_cold_ms, topo_warm_ms),
+        cache_delta.0,
+        cache_delta.1,
+    );
+    let dir = opts.csv_dir.clone().unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&dir).map_err(io_ctx(format!("creating bench directory `{dir}`")))?;
+    let path = format!("{dir}/BENCH_runner.json");
+    std::fs::write(&path, &json).map_err(io_ctx(format!("writing bench report `{path}`")))?;
+    print!("{json}");
+    println!("  [json] {path}");
+    if !csv_identical {
+        return Err(io::Error::other(
+            "parallel chaos CSVs differ from sequential — runner determinism broken",
+        ));
+    }
+    Ok(())
 }
 
 const ALL: &[&str] = &[
@@ -120,11 +239,18 @@ fn main() {
         seed: 42,
         csv_dir: None,
     };
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut sequential = false;
+    let mut smoke = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => opts.effort = Effort::Quick,
             "--paper" => opts.effort = Effort::Paper,
+            "--sequential" => sequential = true,
+            "--no-cache" => no_cache = true,
+            "--smoke" => smoke = true,
             "--seed" => {
                 opts.seed = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -140,6 +266,13 @@ fn main() {
                     std::process::exit(2);
                 };
                 opts.csv_dir = Some(dir.clone());
+            }
+            "--cache" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --cache needs a directory");
+                    std::process::exit(2);
+                };
+                cache_dir = Some(dir.clone());
             }
             "--help" | "-h" => {
                 print_usage();
@@ -159,18 +292,51 @@ fn main() {
         print_usage();
         std::process::exit(2);
     };
+    if sequential {
+        // The thread-local override only covers this (main) thread, so
+        // use the process-wide env hook instead; it is read per fan-out.
+        std::env::set_var("VDM_SEQUENTIAL", "1");
+    }
+    if family == "bench" {
+        // `bench` manages its own cache stores (cold/warm comparisons).
+        if let Err(e) = run_bench(&opts, smoke) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if smoke {
+        eprintln!("error: --smoke only applies to `bench`");
+        std::process::exit(2);
+    }
     // The chaos and soak families always leave a CSV audit trail (their
     // whole point is reproducible recovery numbers).
     if (family == "chaos" || family == "soak") && opts.csv_dir.is_none() {
         opts.csv_dir = Some("results".into());
     }
+    if !no_cache {
+        let dir = cache_dir.unwrap_or_else(|| "results/cache".into());
+        cache::set_global(Some(cache::CacheStore::at(dir)));
+    } else if cache_dir.is_some() {
+        eprintln!("error: --cache and --no-cache are mutually exclusive");
+        std::process::exit(2);
+    }
+    let run = |name: &str| -> bool {
+        match run_family(name, &opts) {
+            Ok(known) => known,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
     if family == "all" {
         for f in ALL {
-            assert!(run_family(f, &opts));
+            assert!(run(f));
         }
         return;
     }
-    if !run_family(&family, &opts) {
+    if !run(&family) {
         eprintln!("unknown family: {family}");
         print_usage();
         std::process::exit(2);
@@ -179,7 +345,10 @@ fn main() {
 
 fn print_usage() {
     println!(
-        "usage: vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]\n\nfamilies: {}  all",
+        "usage: vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]\n\
+         \x20                  [--cache DIR|--no-cache] [--sequential]\n\
+         \x20      vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]\n\n\
+         families: {}  all",
         ALL.join("  ")
     );
 }

@@ -11,7 +11,8 @@
 //! byte-identical output.
 
 use crate::ci::CiStat;
-use crate::figures::{column, replicate};
+use crate::figures::column;
+use crate::runner::{run_cells, Cell, CellKey};
 use crate::setup::{ch3_setup, degree_limits_range, Ch3Setup};
 use crate::table::Table;
 use crate::Effort;
@@ -261,13 +262,45 @@ pub fn chaos_recovery(effort: Effort, seed: u64) -> Vec<Table> {
             "HMTP violations".into(),
         ],
     );
+    // The whole (fault class × protocol × trial) grid fans out as one
+    // cell batch, so parallelism crosses row boundaries instead of
+    // stalling on each row's slowest trial. Seeds reproduce the old
+    // per-row `replicate` schedule bit-for-bit: VDM trials derive from
+    // `seed ^ ((row+1) << 8)`, HMTP from the same base XOR 0x48, and
+    // each trial adds `1000·r + 17` exactly as `fan_out` does.
     let reps = effort.reps().clamp(2, 6);
+    let mut cells = Vec::new();
     for (row, class) in FaultClass::ALL.into_iter().enumerate() {
         let base = seed ^ ((row as u64 + 1) << 8);
-        let v = replicate(reps, base, |s| run_point(&setup, &sc, class, true, s));
-        let h = replicate(reps, base ^ 0x48, |s| {
-            run_point(&setup, &sc, class, false, s)
-        });
+        for (series, vdm) in [(0u32, true), (1u32, false)] {
+            let series_base = if vdm { base } else { base ^ 0x48 };
+            for r in 0..reps as u64 {
+                let cell_seed = series_base.wrapping_add(1_000 * r).wrapping_add(17);
+                let key = CellKey {
+                    family: "A7".into(),
+                    row: row as u32,
+                    series,
+                    trial: r as u32,
+                    seed: cell_seed,
+                };
+                let (setup, sc) = (&setup, &sc);
+                cells.push(Cell::new(key, move || {
+                    run_point(setup, sc, class, vdm, cell_seed)
+                }));
+            }
+        }
+    }
+    let results = run_cells(cells);
+    let series_of = |row: usize, series: u32| -> Vec<ChaosMetrics> {
+        results
+            .iter()
+            .filter(|(k, _)| k.row == row as u32 && k.series == series)
+            .map(|(_, m)| *m)
+            .collect()
+    };
+    for row in 0..FaultClass::ALL.len() {
+        let v = series_of(row, 0);
+        let h = series_of(row, 1);
         recovery.push(
             row as f64,
             vec![

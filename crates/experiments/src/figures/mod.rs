@@ -10,15 +10,11 @@ pub mod fig4;
 pub mod fig5;
 pub mod soak;
 
-use rayon::prelude::*;
-
-/// Run `f` for `reps` independent seeds in parallel and collect the
-/// results in seed order (deterministic regardless of thread count).
+/// Run `f` for `reps` independent seeds through the experiment runner
+/// and collect the results in seed order (deterministic regardless of
+/// thread count or execution mode — see [`crate::runner`]).
 pub fn replicate<T: Send>(reps: usize, base_seed: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    (0..reps as u64)
-        .into_par_iter()
-        .map(|r| f(base_seed.wrapping_add(1_000 * r).wrapping_add(17)))
-        .collect()
+    crate::runner::fan_out(reps, base_seed, f)
 }
 
 /// Pick per-column samples out of replicated metrics.

@@ -12,6 +12,7 @@ pub mod ci;
 pub mod extract;
 pub mod figures;
 pub mod proto;
+pub mod runner;
 pub mod setup;
 pub mod table;
 

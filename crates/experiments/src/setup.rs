@@ -1,11 +1,70 @@
 //! Experiment setup builders: Chapter 3 underlays and degree limits.
+//!
+//! Underlay construction is the expensive pure input of every cell —
+//! topology synthesis plus the all-pairs shortest-path build — so the
+//! builders here route through the content-addressed artifact cache
+//! (`vdm_topology::cache`) when the process has one installed. Cache
+//! keys cover every generator parameter plus the seed, so a hit is
+//! bit-identical to a fresh build and CSV output does not depend on
+//! cache state.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::Arc;
 use vdm_netsim::{HostId, RoutedUnderlay};
+use vdm_topology::cache::{self, codec, KeyHasher};
 use vdm_topology::powerlaw::{self, PowerLawConfig};
 use vdm_topology::transit_stub::{attach_hosts, generate, randomize_losses, TransitStubConfig};
 use vdm_topology::waxman::{self, WaxmanConfig};
+use vdm_topology::{Apsp, Graph, NodeId};
+
+/// Serialize a routed underlay as one cache artifact: graph, routing
+/// table, host attachment points.
+fn encode_underlay(u: &RoutedUnderlay) -> Vec<u8> {
+    let graph = u.graph().to_bytes();
+    let apsp = u.apsp().to_bytes();
+    let mut w = codec::ByteWriter::with_capacity(graph.len() + apsp.len() + 64);
+    w.put_blob(&graph);
+    w.put_blob(&apsp);
+    w.put_u32s(&u.host_nodes().iter().map(|n| n.0).collect::<Vec<_>>());
+    w.into_bytes()
+}
+
+/// Decode [`encode_underlay`] output; `None` (a cache miss) on any
+/// corruption, so a bad artifact falls back to a fresh build.
+fn decode_underlay(bytes: &[u8]) -> Option<RoutedUnderlay> {
+    let mut r = codec::ByteReader::new(bytes);
+    let graph = Graph::from_bytes(r.get_blob()?)?;
+    let apsp = Apsp::from_bytes(r.get_blob()?)?;
+    let hosts = r.get_u32s()?;
+    if !r.at_end()
+        || apsp.num_nodes() != graph.num_nodes()
+        || hosts.is_empty()
+        || hosts.iter().any(|&h| h as usize >= graph.num_nodes())
+    {
+        return None;
+    }
+    Some(RoutedUnderlay::from_parts(
+        graph,
+        apsp,
+        hosts.into_iter().map(NodeId).collect(),
+    ))
+}
+
+/// Build (or load) a routed underlay through the global artifact cache.
+fn cached_underlay(
+    domain: &'static str,
+    feed_key: impl FnOnce(&mut KeyHasher),
+    build: impl FnOnce() -> RoutedUnderlay,
+) -> Arc<RoutedUnderlay> {
+    let mut h = KeyHasher::new();
+    feed_key(&mut h);
+    Arc::new(cache::get_or_compute_global(
+        &h.key(domain),
+        build,
+        encode_underlay,
+        decode_underlay,
+    ))
+}
 
 /// A ready Chapter 3 testbed: transit-stub routers with attached hosts,
 /// host 0 being the source.
@@ -41,12 +100,24 @@ pub fn ch3_setup(members: usize, link_loss: f64, topo_seed: u64) -> Ch3Setup {
             target += target / 5;
         }
     }
-    let mut g = generate(&cfg, topo_seed);
-    if link_loss > 0.0 {
-        randomize_losses(&mut g, link_loss, topo_seed);
-    }
-    let hosts = attach_hosts(&mut g, needed, topo_seed, 0.0);
-    let underlay = Arc::new(RoutedUnderlay::new(g, hosts));
+    let underlay = cached_underlay(
+        "ch3-underlay",
+        |h| {
+            h.feed_str("transit-stub")
+                .feed_usize(needed)
+                .feed_f64(link_loss)
+                .feed_u64(topo_seed)
+                .feed_usize(cfg.total_routers());
+        },
+        || {
+            let mut g = generate(&cfg, topo_seed);
+            if link_loss > 0.0 {
+                randomize_losses(&mut g, link_loss, topo_seed);
+            }
+            let hosts = attach_hosts(&mut g, needed, topo_seed, 0.0);
+            RoutedUnderlay::new(g, hosts)
+        },
+    );
     Ch3Setup {
         underlay,
         source: HostId(0),
@@ -59,17 +130,29 @@ pub fn ch3_setup(members: usize, link_loss: f64, topo_seed: u64) -> Ch3Setup {
 /// graphs have no domain structure at all).
 pub fn waxman_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
     assert!(routers > members);
-    let wg = waxman::generate(
-        &WaxmanConfig {
-            nodes: routers,
-            ..WaxmanConfig::default()
+    let underlay = cached_underlay(
+        "waxman-underlay",
+        |h| {
+            h.feed_str("waxman")
+                .feed_usize(members)
+                .feed_usize(routers)
+                .feed_u64(seed);
         },
-        seed,
+        || {
+            let wg = waxman::generate(
+                &WaxmanConfig {
+                    nodes: routers,
+                    ..WaxmanConfig::default()
+                },
+                seed,
+            );
+            let mut g = wg.graph;
+            let hosts = attach_hosts(&mut g, members + 1, seed, 0.0);
+            RoutedUnderlay::new(g, hosts)
+        },
     );
-    let mut g = wg.graph;
-    let hosts = attach_hosts(&mut g, members + 1, seed, 0.0);
     Ch3Setup {
-        underlay: Arc::new(RoutedUnderlay::new(g, hosts)),
+        underlay,
         source: HostId(0),
         candidates: (1..=members as u32).map(HostId).collect(),
     }
@@ -80,16 +163,28 @@ pub fn waxman_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
 /// for sensitivity studies.
 pub fn powerlaw_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
     assert!(routers > members);
-    let mut g = powerlaw::generate(
-        &PowerLawConfig {
-            nodes: routers,
-            ..PowerLawConfig::default()
+    let underlay = cached_underlay(
+        "powerlaw-underlay",
+        |h| {
+            h.feed_str("powerlaw")
+                .feed_usize(members)
+                .feed_usize(routers)
+                .feed_u64(seed);
         },
-        seed,
+        || {
+            let mut g = powerlaw::generate(
+                &PowerLawConfig {
+                    nodes: routers,
+                    ..PowerLawConfig::default()
+                },
+                seed,
+            );
+            let hosts = attach_hosts(&mut g, members + 1, seed, 0.0);
+            RoutedUnderlay::new(g, hosts)
+        },
     );
-    let hosts = attach_hosts(&mut g, members + 1, seed, 0.0);
     Ch3Setup {
-        underlay: Arc::new(RoutedUnderlay::new(g, hosts)),
+        underlay,
         source: HostId(0),
         candidates: (1..=members as u32).map(HostId).collect(),
     }

@@ -108,6 +108,45 @@ impl RoutedUnderlay {
         }
     }
 
+    /// Rebuild from a cached graph + routing table (see
+    /// `vdm_topology::cache`), skipping the expensive APSP
+    /// recomputation. The parts must belong together: dimensions are
+    /// validated, host reachability is re-checked.
+    ///
+    /// # Panics
+    /// Panics when `apsp` was built for a different node count than
+    /// `graph`, when a host is out of range, or when hosts are mutually
+    /// unreachable — the same invariants [`RoutedUnderlay::new`]
+    /// establishes.
+    pub fn from_parts(graph: Graph, apsp: Apsp, host_nodes: Vec<NodeId>) -> Self {
+        assert!(!host_nodes.is_empty(), "need at least one host");
+        assert_eq!(
+            apsp.num_nodes(),
+            graph.num_nodes(),
+            "APSP table does not match the graph"
+        );
+        for &h in &host_nodes {
+            assert!(h.idx() < graph.num_nodes());
+        }
+        for &h in &host_nodes[1..] {
+            assert!(
+                apsp.dist_ms(host_nodes[0], h).is_finite(),
+                "host {h} unreachable"
+            );
+        }
+        Self {
+            graph,
+            apsp,
+            host_nodes,
+        }
+    }
+
+    /// Graph nodes backing the hosts, in host-id order (for the
+    /// artifact cache).
+    pub fn host_nodes(&self) -> &[NodeId] {
+        &self.host_nodes
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -267,6 +306,58 @@ impl LatencySpace {
     /// Mark a host as a lazy responder.
     pub fn set_lazy(&mut self, h: HostId, profile: LazyProfile) {
         self.lazy[h.idx()] = profile;
+    }
+
+    /// Serialize for the artifact cache (see `vdm_topology::cache`):
+    /// the full RTT/loss matrices, jitter amplitude, and lazy profiles.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use vdm_topology::cache::codec::ByteWriter;
+        let mut w = ByteWriter::with_capacity(32 + self.rtt.len() * 8 + self.lazy.len() * 16);
+        w.put_u64(self.n as u64);
+        w.put_f32s(&self.rtt);
+        w.put_f32s(&self.loss);
+        w.put_f64(self.jitter_frac);
+        w.put_u64(self.lazy.len() as u64);
+        for l in &self.lazy {
+            w.put_f64(l.prob);
+            w.put_f64(l.extra_ms);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a [`LatencySpace::to_bytes`] artifact; `None` on any
+    /// corruption or dimension mismatch (treated as a cache miss).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        use vdm_topology::cache::codec::ByteReader;
+        let mut r = ByteReader::new(bytes);
+        let n = usize::try_from(r.get_u64()?).ok()?;
+        let rtt = r.get_f32s()?;
+        let loss = r.get_f32s()?;
+        if rtt.len() != n.checked_mul(n)? || loss.len() != rtt.len() {
+            return None;
+        }
+        let jitter_frac = r.get_f64()?;
+        if !(0.0..1.0).contains(&jitter_frac) {
+            return None;
+        }
+        let m = usize::try_from(r.get_u64()?).ok()?;
+        if m != n {
+            return None;
+        }
+        let mut lazy = Vec::with_capacity(m);
+        for _ in 0..m {
+            lazy.push(LazyProfile {
+                prob: r.get_f64()?,
+                extra_ms: r.get_f64()?,
+            });
+        }
+        r.at_end().then_some(Self {
+            n,
+            rtt,
+            loss,
+            jitter_frac,
+            lazy,
+        })
     }
 }
 

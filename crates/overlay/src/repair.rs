@@ -161,7 +161,7 @@ impl GapTracker {
                 // newest-window only: after a long outage everything
                 // older than `window` is lost outright.
                 let first_wanted = seq.saturating_sub(cfg.window).max(last + 1);
-                self.lost += first_wanted - (last + 1);
+                self.lost = self.lost.saturating_add(first_wanted - (last + 1));
                 for s in first_wanted..seq {
                     self.missing.push(Missing {
                         seq: s,
@@ -189,7 +189,9 @@ impl GapTracker {
     fn expire_below(&mut self, floor: u64) {
         let before = self.missing.len();
         self.missing.retain(|m| m.seq >= floor);
-        self.lost += (before - self.missing.len()) as u64;
+        self.lost = self
+            .lost
+            .saturating_add((before - self.missing.len()) as u64);
     }
 
     /// Collect the sequence numbers whose NACK is due, bumping their
@@ -211,7 +213,7 @@ impl GapTracker {
             batch.push(m.seq);
             true
         });
-        self.lost += lost;
+        self.lost = self.lost.saturating_add(lost);
         batch.sort_unstable();
         batch
     }
@@ -319,6 +321,90 @@ mod tests {
         assert!(!g.has_pending());
         assert_eq!(g.lost, 1);
         assert_eq!(g.next_due(), None);
+    }
+
+    #[test]
+    fn ring_handles_sequences_at_u64_max() {
+        let mut r = RetransmitRing::new(3);
+        for s in [u64::MAX - 2, u64::MAX - 1, u64::MAX] {
+            r.record(s);
+        }
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(u64::MAX - 2) && r.contains(u64::MAX));
+        // Duplicate of the top sequence is a no-op, not an eviction.
+        r.record(u64::MAX);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(u64::MAX - 2));
+        // An out-of-order record into a full ring sorts in, then the
+        // lowest-first eviction drops it again: the ring never holds
+        // more than `cap`, and never trades new content for old.
+        r.record(5);
+        assert_eq!(r.len(), 3);
+        assert!(!r.contains(5), "the lowest sequence must be the evictee");
+        assert!(r.contains(u64::MAX - 2) && r.contains(u64::MAX - 1) && r.contains(u64::MAX));
+    }
+
+    #[test]
+    fn watermark_jump_to_u64_max_is_window_bounded() {
+        let mut g = GapTracker::default();
+        let c = RepairConfig { window: 8, ..cfg() };
+        let t = SimTime::from_secs(1);
+        // Watermark 100, next arrival u64::MAX: only the last 8 holes
+        // stay recoverable; the arithmetic on the enormous skipped span
+        // must neither overflow nor panic.
+        assert_eq!(g.on_chunk(u64::MAX, Some(100), t, &c), ChunkClass::Fresh);
+        assert_eq!(g.pending(), 8);
+        assert_eq!(g.lost, u64::MAX - 8 - 101);
+        // Holes right below the maximum watermark are still repairable.
+        assert_eq!(
+            g.on_chunk(u64::MAX - 1, Some(u64::MAX), t, &c),
+            ChunkClass::Repaired
+        );
+        assert_eq!(
+            g.on_chunk(u64::MAX - 1, Some(u64::MAX), t, &c),
+            ChunkClass::Duplicate
+        );
+        assert_eq!(g.pending(), 7);
+        // A chunk equal to the watermark itself is a duplicate even at
+        // the far end of the sequence space.
+        assert_eq!(
+            g.on_chunk(u64::MAX, Some(u64::MAX), t, &c),
+            ChunkClass::Duplicate
+        );
+    }
+
+    #[test]
+    fn watermark_jump_from_zero_to_u64_max() {
+        let mut g = GapTracker::default();
+        let c = RepairConfig { window: 4, ..cfg() };
+        let t = SimTime::from_secs(1);
+        // The largest possible jump: every skipped chunk outside the
+        // window is lost, and the count stays exact (no wrap).
+        assert_eq!(g.on_chunk(u64::MAX, Some(0), t, &c), ChunkClass::Fresh);
+        assert_eq!(g.pending(), 4);
+        assert_eq!(g.lost, u64::MAX - 4 - 1);
+    }
+
+    #[test]
+    fn lost_counter_saturates_instead_of_wrapping() {
+        let mut g = GapTracker {
+            lost: u64::MAX - 2,
+            ..GapTracker::default()
+        };
+        let c = RepairConfig { window: 4, ..cfg() };
+        let t = SimTime::from_secs(1);
+        // The new losses (u64::MAX - 5 of them) would wrap a plain add;
+        // the counter must pin at u64::MAX instead.
+        g.on_chunk(u64::MAX, Some(0), t, &c);
+        assert_eq!(g.lost, u64::MAX);
+        // Give-ups after the saturation point keep it pinned.
+        let t_due = t + c.nack_delay;
+        for _ in 0..=c.nack_retries {
+            g.due_nacks(t_due, &c);
+        }
+        let far = t_due + c.nack_period + c.nack_period + c.nack_period + c.nack_period;
+        g.due_nacks(far, &c);
+        assert_eq!(g.lost, u64::MAX);
     }
 
     #[test]

@@ -128,7 +128,7 @@ pub fn us_regions() -> Vec<Region> {
 }
 
 /// A generated site.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Site {
     /// Location on the globe.
     pub point: GeoPoint,

@@ -16,10 +16,14 @@
 //! * [`spath`] — Dijkstra single-source and all-pairs shortest paths with
 //!   next-hop tables (the simulator routes packets over these, as NS-2 does);
 //! * [`mst`] — Prim minimum spanning trees over arbitrary metrics (the
-//!   paper's §5.4.6 MST-ratio comparison).
+//!   paper's §5.4.6 MST-ratio comparison);
+//! * [`cache`] — a content-addressed on-disk artifact cache for the
+//!   expensive pure outputs above (generated graphs, APSP tables),
+//!   keyed by generator parameters + seed + code-version salt.
 //!
 //! All generators are deterministic given a seed.
 
+pub mod cache;
 pub mod geo;
 pub mod graph;
 pub mod mst;

@@ -144,6 +144,30 @@ impl Apsp {
         self.n
     }
 
+    /// Serialize for the artifact cache (see [`crate::cache`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::cache::codec::ByteWriter;
+        let mut w = ByteWriter::with_capacity(24 + self.dist.len() * 4 + self.next.len() * 4);
+        w.put_u64(self.n as u64);
+        w.put_f32s(&self.dist);
+        w.put_u32s(&self.next);
+        w.into_bytes()
+    }
+
+    /// Decode an [`Apsp::to_bytes`] artifact; `None` on any corruption
+    /// or dimension mismatch (treated as a cache miss).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        use crate::cache::codec::ByteReader;
+        let mut r = ByteReader::new(bytes);
+        let n = usize::try_from(r.get_u64()?).ok()?;
+        let dist = r.get_f32s()?;
+        let next = r.get_u32s()?;
+        if !r.at_end() || dist.len() != n.checked_mul(n)? || next.len() != dist.len() {
+            return None;
+        }
+        Some(Self { n, dist, next })
+    }
+
     /// Shortest one-way delay (ms) from `a` to `b`.
     #[inline]
     pub fn dist_ms(&self, a: NodeId, b: NodeId) -> Millis {

@@ -1,0 +1,107 @@
+//! Golden-output equivalence: every ablation family must produce
+//! byte-identical CSVs whether its cells run sequentially or fanned
+//! across the thread pool, and whether underlay artifacts come from the
+//! content-addressed cache or a fresh build.
+//!
+//! Each family runs at `Effort::Quick` on two fixed seeds; the
+//! sequential path is the reference (it matches the pre-runner code's
+//! loop nesting and seed schedule bit-for-bit), so these tests pin the
+//! parallel runner's merge order and seed derivation. CI runs this
+//! suite with `RAYON_NUM_THREADS=4` so the parallel path genuinely
+//! interleaves.
+
+use vdm_experiments::figures::{ablation, chaos, soak};
+use vdm_experiments::runner::{with_mode, ExecMode};
+use vdm_experiments::{Effort, Table};
+use vdm_topology::cache;
+
+const SEEDS: [u64; 2] = [11, 42];
+
+fn assert_equivalent(name: &str, f: impl Fn(u64) -> Vec<Table>) {
+    for seed in SEEDS {
+        let seq = with_mode(ExecMode::Sequential, || f(seed));
+        let par = with_mode(ExecMode::Parallel, || f(seed));
+        assert_eq!(seq.len(), par.len(), "{name} seed {seed}: table count");
+        for (a, b) in seq.iter().zip(&par) {
+            assert!(!a.to_csv().is_empty(), "{name} produced an empty CSV");
+            assert_eq!(
+                a.to_csv(),
+                b.to_csv(),
+                "{name} seed {seed}: `{}` differs between sequential and parallel",
+                a.figure
+            );
+        }
+    }
+}
+
+#[test]
+fn a1_slack_sweep_parallel_matches_sequential() {
+    assert_equivalent("A1 slack", |s| ablation::slack_sweep(Effort::Quick, s));
+}
+
+#[test]
+fn a2_reconnect_anchor_parallel_matches_sequential() {
+    assert_equivalent("A2 anchor", |s| {
+        ablation::reconnect_anchor(Effort::Quick, s)
+    });
+}
+
+#[test]
+fn a3_crash_churn_parallel_matches_sequential() {
+    assert_equivalent("A3 crash", |s| ablation::crash_churn(Effort::Quick, s));
+}
+
+#[test]
+fn a4_topology_sensitivity_parallel_matches_sequential() {
+    assert_equivalent("A4 topology", |s| {
+        ablation::topology_sensitivity(Effort::Quick, s)
+    });
+}
+
+#[test]
+fn a5_heterogeneity_parallel_matches_sequential() {
+    assert_equivalent("A5 heterogeneity", |s| {
+        ablation::heterogeneity(Effort::Quick, s)
+    });
+}
+
+#[test]
+fn a6_congestion_parallel_matches_sequential() {
+    assert_equivalent("A6 congestion", |s| ablation::congestion(Effort::Quick, s));
+}
+
+#[test]
+fn a7_chaos_parallel_matches_sequential() {
+    assert_equivalent("A7 chaos", |s| chaos::chaos_recovery(Effort::Quick, s));
+}
+
+#[test]
+fn a8_soak_parallel_matches_sequential() {
+    assert_equivalent("A8 soak", |s| soak::soak_resilience(Effort::Quick, s));
+}
+
+/// Artifact-cache transparency: the same family produces the same CSVs
+/// with no cache, a cold cache (computing and storing artifacts), and a
+/// warm cache (decoding them back).
+#[test]
+fn csvs_identical_with_and_without_artifact_cache() {
+    let fresh = chaos::chaos_recovery(Effort::Quick, 11);
+    let dir = std::env::temp_dir().join(format!("vdm-equiv-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cache::set_global(Some(cache::CacheStore::at(&dir)));
+    let cold = chaos::chaos_recovery(Effort::Quick, 11);
+    let warm = chaos::chaos_recovery(Effort::Quick, 11);
+    cache::set_global(None);
+    let _ = std::fs::remove_dir_all(&dir);
+    for (label, run) in [("cold", &cold), ("warm", &warm)] {
+        assert_eq!(fresh.len(), run.len());
+        for (a, b) in fresh.iter().zip(run) {
+            assert_eq!(
+                a.to_csv(),
+                b.to_csv(),
+                "`{}` differs between fresh and {label}-cache runs",
+                a.figure
+            );
+        }
+    }
+}

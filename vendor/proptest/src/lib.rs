@@ -190,6 +190,29 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`: {}",
+                __l, __r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
 /// Reject the sampled inputs and draw a fresh case.
 #[macro_export]
 macro_rules! prop_assume {
@@ -202,7 +225,9 @@ macro_rules! prop_assume {
 
 pub mod prelude {
     pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, TestCaseError,
+    };
 }
 
 #[cfg(test)]

@@ -1,27 +1,220 @@
-//! Offline sequential stand-in for the subset of `rayon` this workspace
-//! uses (`into_par_iter` in the experiment replicator). Iteration order is
-//! identical to the sequential order, which also makes replicated
-//! experiment output trivially deterministic.
+//! Offline stand-in for the subset of `rayon` this workspace uses,
+//! backed by a real thread pool.
+//!
+//! The experiment harness fans independent simulation cells out through
+//! `into_par_iter().map(f).collect()`. Unlike upstream rayon there is no
+//! global work-stealing pool: each `collect` spins up scoped threads,
+//! hands out items through an atomic cursor, and writes every result
+//! into the slot of its input index. Output order is therefore always
+//! the input order, regardless of thread count or completion order —
+//! which is what makes replicated experiment output byte-identical to a
+//! sequential run.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like upstream), falling
+//! back to `std::thread::available_parallelism`. A count of 1 — or a
+//! single-item batch — degenerates to a plain inline loop with no
+//! thread overhead.
 
-pub mod prelude {
-    /// Sequential `IntoParallelIterator`: `into_par_iter()` is a plain
-    /// `into_iter()`.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads a parallel batch will use:
+/// `RAYON_NUM_THREADS` if set and positive, else the machine's
+/// available parallelism, else 1.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Run `f` over `items`, returning results in input order. Parallel when
+/// both the item count and the configured thread count exceed 1.
+fn run_ordered<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Hand items out through an atomic cursor; results travel back over a
+    // channel tagged with their input index. A worker panic propagates
+    // when the scope joins, after the remaining workers drain.
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let slots = &slots;
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item taken twice");
+                // A send failure means the receiver is gone (collector
+                // panicked); stop quietly, the scope will propagate.
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, u) in rx {
+            debug_assert!(out[i].is_none(), "duplicate result for slot {i}");
+            out[i] = Some(u);
+        }
+        out.into_iter()
+            .map(|o| o.expect("worker died before producing its slot"))
+            .collect()
+    })
+}
+
+/// An eagerly materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map every item through `f` (executed at `collect` time).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
         }
     }
 
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+    /// Collect the unmapped items (identity pipeline).
+    pub fn collect<B: FromIterator<T>>(self) -> B {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel pipeline, executed on `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync + Send,
+{
+    /// Execute the pipeline across the thread pool and collect results
+    /// in input order.
+    pub fn collect<B: FromIterator<U>>(self) -> B {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+pub mod prelude {
+    pub use super::ParIter;
+
+    /// Entry point mirroring rayon's `IntoParallelIterator`: anything
+    /// iterable becomes a [`ParIter`] over its items.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {
+        fn into_par_iter(self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_preserves_order() {
-        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let v: Vec<i32> = (0..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_is_input_order_even_with_skewed_work() {
+        // Early items sleep longest: completion order is reversed, output
+        // order must not be.
+        let v: Vec<usize> = (0..16usize)
+            .into_par_iter()
+            .map(|i| {
+                std::thread::sleep(std::time::Duration::from_millis(((16 - i) % 4) as u64));
+                i
+            })
+            .collect();
+        assert_eq!(v, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_sources_work() {
+        let v: Vec<String> = vec!["a", "b", "c"]
+            .into_par_iter()
+            .map(|s| s.to_uppercase())
+            .collect();
+        assert_eq!(v, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let e: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(e.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn identity_collect() {
+        let v: Vec<i32> = (0..5).into_par_iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        // Force multi-threaded path with enough items.
+        let _: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+            .collect();
     }
 }
