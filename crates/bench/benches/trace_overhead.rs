@@ -1,0 +1,106 @@
+//! Cost of the observability layer, off and on.
+//!
+//! The headline numbers are the `emit/*` benches: every emission site
+//! in the stack goes through [`Tracer::emit`], so with tracing off
+//! (the default) a site must cost one `Option` branch — the
+//! event-constructing closure must never run. `sim/*` confirms the
+//! same at whole-run scale: a run against a disabled tracer should be
+//! indistinguishable from the pre-observability baseline, and a
+//! ring-buffer tracer shows what a fully-enabled run pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vdm_core::VdmFactory;
+use vdm_netsim::{HostId, LatencySpace};
+use vdm_overlay::driver::{Driver, DriverConfig};
+use vdm_overlay::scenario::{ChurnConfig, Scenario};
+use vdm_trace::{CaseClass, TraceEvent, Tracer};
+
+fn decision_event() -> TraceEvent {
+    TraceEvent::WalkDecision {
+        host: 17,
+        at: 3,
+        cases: vdm_trace::encode_cases(&[(5, CaseClass::II), (9, CaseClass::III)]),
+        action: "descend",
+        next: 9,
+        splice: None,
+    }
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emit");
+    let off = Tracer::disabled();
+    group.bench_function("disabled", |b| {
+        b.iter(|| off.emit(black_box(1_000_000), || black_box(decision_event())))
+    });
+    let (on, _ring) = Tracer::ring(1024);
+    group.bench_function("ring", |b| {
+        b.iter(|| on.emit(black_box(1_000_000), || black_box(decision_event())))
+    });
+    // The JSONL path adds serialization on top of the sink lock.
+    let jsonl = Tracer::jsonl(std::io::sink());
+    group.bench_function("jsonl", |b| {
+        b.iter(|| jsonl.emit(black_box(1_000_000), || black_box(decision_event())))
+    });
+    group.finish();
+}
+
+fn line_space(n: usize) -> Arc<LatencySpace> {
+    let mut rtt = vec![vec![0.0; n]; n];
+    for (i, row) in rtt.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                *v = 10.0 * (i as f64 - j as f64).abs();
+            }
+        }
+    }
+    Arc::new(LatencySpace::from_rtt_matrix(&rtt))
+}
+
+fn run_sim(space: &Arc<LatencySpace>) -> u64 {
+    let members = 10usize;
+    let hosts: Vec<HostId> = (1..=members as u32).map(HostId).collect();
+    let scenario = Scenario::churn(
+        &ChurnConfig {
+            members,
+            warmup_s: 30.0,
+            slot_s: 60.0,
+            slots: 2,
+            churn_pct: 20.0,
+        },
+        &hosts,
+        5,
+    );
+    let driver = Driver::new(
+        space.clone(),
+        None,
+        HostId(0),
+        VdmFactory::delay_based(),
+        &scenario,
+        vec![3; members + 1],
+        DriverConfig::default(),
+        5,
+    );
+    driver.run().events
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let space = line_space(11);
+    let mut group = c.benchmark_group("sim_150s");
+    group.bench_function("trace_off", |b| b.iter(|| black_box(run_sim(&space))));
+    group.bench_function("trace_ring", |b| {
+        // The driver's engine picks up the global tracer, so enable it
+        // around the measured run and restore afterwards.
+        b.iter(|| {
+            let (t, _ring) = Tracer::ring(4096);
+            let prev = vdm_trace::set_global(t);
+            let ev = black_box(run_sim(&space));
+            vdm_trace::set_global(prev);
+            ev
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emit, bench_sim);
+criterion_main!(benches);

@@ -97,6 +97,25 @@ impl WalkPolicy for VdmPolicy {
         // source]".
         source
     }
+
+    fn classify_for_trace(&self, p: &ProbeResult) -> Vec<(HostId, vdm_trace::CaseClass)> {
+        p.children
+            .iter()
+            .map(|c| {
+                let case = match classify_with_slack(
+                    p.d_current,
+                    c.d_parent_child,
+                    c.d_new_child,
+                    self.slack,
+                ) {
+                    Case::I => vdm_trace::CaseClass::I,
+                    Case::II => vdm_trace::CaseClass::II,
+                    Case::III => vdm_trace::CaseClass::III,
+                };
+                (c.child, case)
+            })
+            .collect()
+    }
 }
 
 /// Builds VDM agents for the simulation driver.
@@ -231,6 +250,45 @@ mod tests {
                 splice: vec![HostId(2), HostId(1)]
             }
         );
+    }
+
+    #[test]
+    fn equal_distance_candidates_resolve_by_host_id_regardless_of_order() {
+        let p = VdmPolicy::delay_based();
+        // Two Case III children at identical distance from N: the
+        // lower host id must win in both probe arrival orders.
+        let fwd = probe(10.0, &[(5, 4.0, 6.0), (2, 4.0, 6.0)]);
+        let rev = probe(10.0, &[(2, 4.0, 6.0), (5, 4.0, 6.0)]);
+        assert_eq!(p.decide_t(&fwd), p.decide_t(&rev));
+        assert_eq!(p.decide_t(&fwd), WalkStep::Descend(HostId(2)));
+        // Two equal Case II children: the splice (adoption) order is
+        // host-id stable too.
+        let fwd = probe(2.0, &[(7, 9.0, 6.0), (3, 9.0, 6.0)]);
+        let rev = probe(2.0, &[(3, 9.0, 6.0), (7, 9.0, 6.0)]);
+        assert_eq!(p.decide_t(&fwd), p.decide_t(&rev));
+        assert_eq!(
+            p.decide_t(&fwd),
+            WalkStep::Attach {
+                splice: vec![HostId(3), HostId(7)]
+            }
+        );
+    }
+
+    #[test]
+    fn classify_for_trace_matches_decide() {
+        let p = VdmPolicy::delay_based();
+        // Child 1 Case III, child 2 Case II, child 3 Case I.
+        let pr = probe(10.0, &[(1, 6.0, 4.0), (2, 12.0, 3.0), (3, 5.0, 12.0)]);
+        let cases = p.classify_for_trace(&pr);
+        assert_eq!(
+            cases,
+            vec![
+                (HostId(1), vdm_trace::CaseClass::III),
+                (HostId(2), vdm_trace::CaseClass::II),
+                (HostId(3), vdm_trace::CaseClass::I),
+            ]
+        );
+        assert_eq!(p.decide_t(&pr), WalkStep::Descend(HostId(1)));
     }
 
     // ------------------------------------------------------------------

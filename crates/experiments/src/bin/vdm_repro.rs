@@ -5,6 +5,12 @@
 //! vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]
 //!                    [--cache DIR|--no-cache] [--sequential]
 //! vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]
+//! vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]
+//!                          [--csv DIR] [--cache DIR|--no-cache]
+//! vdm-repro trace filter    --input FILE [--host N] [--kind K]
+//!                           [--t0 SECS] [--t1 SECS]
+//! vdm-repro trace summarize --input FILE
+//! vdm-repro trace dump      --input FILE [--limit N]
 //!
 //! families:
 //!   fig3-churn    Figs 3.25–3.28  stress/stretch/loss/overhead vs churn (VDM vs HMTP)
@@ -38,12 +44,25 @@
 //! parallel (asserting the CSVs match byte-for-byte) and a topology
 //! build cold vs warm through a throwaway cache, then writes
 //! `BENCH_runner.json` next to the CSVs.
+//!
+//! `trace <family>` re-runs a family with the structured tracer and
+//! wall-clock profiler on (sequentially, so the event log is in
+//! deterministic order), writing `trace_<family>.jsonl`,
+//! `profile_<family>.json` (load in chrome://tracing or Perfetto) and
+//! `metrics_<family>.json` under `--out` (default `results/trace`).
+//! `trace filter/summarize/dump` then query the event log — e.g. every
+//! event touching host 17 between t=100s and t=130s:
+//! `vdm-repro trace filter --input F --host 17 --t0 100 --t1 130`.
 
+use std::collections::BTreeMap;
 use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vdm_experiments::figures::{ablation, chaos, compare, complexity, fig3, fig4, fig5, soak};
 use vdm_experiments::{runner, setup, Effort, Table};
 use vdm_topology::cache;
+use vdm_trace::json::Value;
+use vdm_trace::{EventSink, JsonlSink, Tracer};
 
 struct Opts {
     effort: Effort,
@@ -213,6 +232,335 @@ fn run_bench(opts: &Opts, smoke: bool) -> io::Result<()> {
     Ok(())
 }
 
+/// `vdm-repro trace <family>`: run a family with the structured tracer
+/// and profiler on, then write the event log, chrome trace and metrics
+/// snapshot. Exits the process (non-zero on any failure).
+fn trace_run(family: &str, args: &[String]) -> ! {
+    let mut opts = Opts {
+        effort: Effort::Default,
+        seed: 42,
+        csv_dir: None,
+    };
+    let mut out_dir = String::from("results/trace");
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.effort = Effort::Quick,
+            "--paper" => opts.effort = Effort::Paper,
+            "--no-cache" => no_cache = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => {
+                    eprintln!("error: --seed needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = dir.clone(),
+                None => {
+                    eprintln!("error: --out needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--csv" => match it.next() {
+                Some(dir) => opts.csv_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("error: --csv needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--cache" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("error: --cache needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    if !ALL.contains(&family) || family == "fig5-tree" {
+        eprintln!("unknown or untraceable family: {family}");
+        print_usage();
+        std::process::exit(2);
+    }
+    if no_cache {
+        if cache_dir.is_some() {
+            eprintln!("error: --cache and --no-cache are mutually exclusive");
+            std::process::exit(2);
+        }
+    } else {
+        let dir = cache_dir.unwrap_or_else(|| "results/cache".into());
+        cache::set_global(Some(cache::CacheStore::at(dir)));
+    }
+    // Sequential execution: with parallel cells the shared JSONL sink
+    // would interleave events in completion order, making the log
+    // nondeterministic. The *results* are order-independent either
+    // way; the event log is not.
+    std::env::set_var("VDM_SEQUENTIAL", "1");
+
+    let fail = |e: io::Error| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    if let Err(e) =
+        std::fs::create_dir_all(&out_dir).map_err(io_ctx(format!("creating `{out_dir}`")))
+    {
+        fail(e);
+    }
+    let trace_path = format!("{out_dir}/trace_{family}.jsonl");
+    let file = match std::fs::File::create(&trace_path)
+        .map_err(io_ctx(format!("creating trace log `{trace_path}`")))
+    {
+        Ok(f) => f,
+        Err(e) => fail(e),
+    };
+    // Keep a typed handle on the sink so we can read the line count
+    // after the run; the global tracer only sees `dyn EventSink`.
+    let sink = Arc::new(Mutex::new(JsonlSink::new(io::BufWriter::new(file))));
+    vdm_trace::set_global(Tracer::with_sink(sink.clone() as Arc<Mutex<dyn EventSink>>));
+    vdm_trace::start_profiling();
+
+    match run_family(family, &opts) {
+        Ok(true) => {}
+        Ok(false) => unreachable!("family validated against ALL above"),
+        Err(e) => fail(e),
+    }
+
+    vdm_trace::set_global(Tracer::disabled());
+    let events = {
+        let mut s = sink.lock().expect("trace sink lock");
+        s.flush();
+        s.lines
+    };
+    if events == 0 {
+        eprintln!("error: traced run of `{family}` emitted no events — tracer not wired?");
+        std::process::exit(1);
+    }
+    let spans = vdm_trace::stop_profiling();
+    let prof_path = format!("{out_dir}/profile_{family}.json");
+    let write_profile = || -> io::Result<()> {
+        let mut f = std::fs::File::create(&prof_path)
+            .map_err(io_ctx(format!("creating profile `{prof_path}`")))?;
+        vdm_trace::write_chrome_trace(&mut f, &spans)
+            .map_err(io_ctx(format!("writing profile `{prof_path}`")))
+    };
+    if let Err(e) = write_profile() {
+        fail(e);
+    }
+    let mut m = vdm_trace::MetricsRegistry::new();
+    runner::export_metrics(&mut m);
+    cache::export_metrics(&mut m);
+    let metrics_path = format!("{out_dir}/metrics_{family}.json");
+    if let Err(e) = std::fs::write(&metrics_path, m.to_json())
+        .map_err(io_ctx(format!("writing metrics `{metrics_path}`")))
+    {
+        fail(e);
+    }
+    println!("[trace] {events} events -> {trace_path}");
+    println!("[profile] {} spans -> {prof_path}", spans.len());
+    println!("[metrics] -> {metrics_path}");
+    std::process::exit(0);
+}
+
+/// Parsed `(raw line, flat record)` pairs from a trace log; any
+/// malformed line is a hard error.
+fn load_trace(path: &str) -> io::Result<Vec<(String, BTreeMap<String, Value>)>> {
+    let text =
+        std::fs::read_to_string(path).map_err(io_ctx(format!("reading trace log `{path}`")))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match vdm_trace::json::parse_flat_object(line) {
+            Some(rec) => out.push((line.to_string(), rec)),
+            None => {
+                return Err(io::Error::other(format!(
+                    "{path}:{}: malformed trace record",
+                    i + 1
+                )))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(io::Error::other(format!("{path}: no trace events")));
+    }
+    Ok(out)
+}
+
+/// Timestamp of a parsed record, in seconds.
+fn rec_t_s(rec: &BTreeMap<String, Value>) -> f64 {
+    rec.get("t_us").and_then(Value::as_num).unwrap_or(0.0) / 1e6
+}
+
+/// `vdm-repro trace filter|summarize|dump`: query an event log written
+/// by `trace <family>`. Exits the process (non-zero on any failure).
+fn trace_inspect(mode: &str, args: &[String]) -> ! {
+    let mut input: Option<String> = None;
+    let mut host: Option<u32> = None;
+    let mut kind: Option<String> = None;
+    let mut t0: Option<f64> = None;
+    let mut t1: Option<f64> = None;
+    let mut limit: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next_parsed = |flag: &str, what: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("error: {flag} needs {what}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match a.as_str() {
+            "--input" => input = Some(next_parsed("--input", "a file")),
+            "--host" => match next_parsed("--host", "a host id").parse() {
+                Ok(v) => host = Some(v),
+                Err(_) => {
+                    eprintln!("error: --host needs an integer host id");
+                    std::process::exit(2);
+                }
+            },
+            "--kind" => kind = Some(next_parsed("--kind", "an event kind")),
+            "--t0" => match next_parsed("--t0", "seconds").parse() {
+                Ok(v) => t0 = Some(v),
+                Err(_) => {
+                    eprintln!("error: --t0 needs seconds");
+                    std::process::exit(2);
+                }
+            },
+            "--t1" => match next_parsed("--t1", "seconds").parse() {
+                Ok(v) => t1 = Some(v),
+                Err(_) => {
+                    eprintln!("error: --t1 needs seconds");
+                    std::process::exit(2);
+                }
+            },
+            "--limit" => match next_parsed("--limit", "a count").parse() {
+                Ok(v) => limit = Some(v),
+                Err(_) => {
+                    eprintln!("error: --limit needs a count");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("error: trace {mode} needs --input FILE");
+        std::process::exit(2);
+    };
+    let recs = match load_trace(&input) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let total = recs.len();
+    let keep = |rec: &BTreeMap<String, Value>| -> bool {
+        let t = rec_t_s(rec);
+        host.is_none_or(|h| vdm_trace::record_touches_host(rec, h))
+            && kind
+                .as_deref()
+                .is_none_or(|k| rec.get("kind").and_then(Value::as_str) == Some(k))
+            && t0.is_none_or(|lo| t >= lo)
+            && t1.is_none_or(|hi| t <= hi)
+    };
+    let mut stdout = io::stdout().lock();
+    match mode {
+        "filter" => {
+            let mut matched = 0usize;
+            for (line, rec) in &recs {
+                if keep(rec) {
+                    matched += 1;
+                    let _ = writeln!(stdout, "{line}");
+                }
+            }
+            // Stats go to stderr so stdout stays pure JSONL.
+            eprintln!("[filter] matched {matched} of {total} events");
+        }
+        "dump" => {
+            let mut shown = 0usize;
+            for (_, rec) in &recs {
+                if !keep(rec) {
+                    continue;
+                }
+                if limit.is_some_and(|l| shown >= l) {
+                    eprintln!("[dump] truncated at {shown} of {total} events (--limit)");
+                    break;
+                }
+                shown += 1;
+                let kind = rec.get("kind").and_then(Value::as_str).unwrap_or("?");
+                let mut line = format!("t={:>10.6}s  {kind:<20}", rec_t_s(rec));
+                for (k, v) in rec {
+                    if k == "t_us" || k == "kind" {
+                        continue;
+                    }
+                    match v {
+                        Value::Str(s) => line.push_str(&format!(" {k}={s}")),
+                        Value::Bool(b) => line.push_str(&format!(" {k}={b}")),
+                        Value::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => {
+                            line.push_str(&format!(" {k}={n:.0}"));
+                        }
+                        Value::Num(n) => line.push_str(&format!(" {k}={n}")),
+                    }
+                }
+                let _ = writeln!(stdout, "{line}");
+            }
+        }
+        "summarize" => {
+            let mut by_kind: BTreeMap<&str, usize> = BTreeMap::new();
+            let mut hosts = std::collections::BTreeSet::new();
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            let mut kept = 0usize;
+            for (_, rec) in &recs {
+                if !keep(rec) {
+                    continue;
+                }
+                kept += 1;
+                *by_kind
+                    .entry(rec.get("kind").and_then(Value::as_str).unwrap_or("?"))
+                    .or_default() += 1;
+                let t = rec_t_s(rec);
+                (lo, hi) = (lo.min(t), hi.max(t));
+                for f in vdm_trace::HOST_FIELDS {
+                    if let Some(h) = rec.get(*f).and_then(Value::as_num) {
+                        hosts.insert(h as u64);
+                    }
+                }
+            }
+            let span = if kept == 0 {
+                "t=-".to_string()
+            } else {
+                format!("t={lo:.3}s..{hi:.3}s")
+            };
+            let _ = writeln!(
+                stdout,
+                "{input}: {kept} events ({total} total), {span}, {} hosts",
+                hosts.len()
+            );
+            for (k, n) in &by_kind {
+                let _ = writeln!(stdout, "  {k:<22} {n:>8}");
+            }
+        }
+        _ => unreachable!("mode validated by caller"),
+    }
+    std::process::exit(0);
+}
+
 const ALL: &[&str] = &[
     "fig3-churn",
     "fig3-nodes",
@@ -233,6 +581,18 @@ const ALL: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `trace` owns its own argument grammar (run vs inspect modes).
+    if args.first().is_some_and(|a| a == "trace") {
+        match args.get(1).map(String::as_str) {
+            Some(mode @ ("filter" | "summarize" | "dump")) => trace_inspect(mode, &args[2..]),
+            Some(family) if !family.starts_with('-') => trace_run(family, &args[2..]),
+            _ => {
+                eprintln!("error: `trace` needs a family or filter|summarize|dump");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
     let mut family: Option<String> = None;
     let mut opts = Opts {
         effort: Effort::Default,
@@ -289,6 +649,7 @@ fn main() {
         }
     }
     let Some(family) = family else {
+        eprintln!("error: missing <family>");
         print_usage();
         std::process::exit(2);
     };
@@ -347,7 +708,11 @@ fn print_usage() {
     println!(
         "usage: vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]\n\
          \x20                  [--cache DIR|--no-cache] [--sequential]\n\
-         \x20      vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]\n\n\
+         \x20      vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]\n\
+         \x20      vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]\n\
+         \x20                  [--csv DIR] [--cache DIR|--no-cache]\n\
+         \x20      vdm-repro trace filter|summarize|dump --input FILE\n\
+         \x20                  [--host N] [--kind K] [--t0 S] [--t1 S] [--limit N]\n\n\
          families: {}  all",
         ALL.join("  ")
     );

@@ -17,16 +17,22 @@ const Z90: f64 = 1.645;
 
 impl CiStat {
     /// Compute from samples.
+    ///
+    /// Non-finite samples (NaN, ±inf) are **skipped**, matching
+    /// `Summary::of` in `vdm-overlay`: one degenerate replication must
+    /// not silently poison the aggregate an entire figure row reports.
+    /// `n` counts the samples actually used.
     pub fn of(samples: &[f64]) -> Self {
-        let n = samples.len();
+        let finite: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+        let n = finite.len();
         if n == 0 {
             return Self::default();
         }
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mean = finite.iter().sum::<f64>() / n as f64;
         if n == 1 {
             return Self { mean, ci90: 0.0, n };
         }
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var = finite.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         Self {
             mean,
             ci90: Z90 * (var / n as f64).sqrt(),
@@ -67,6 +73,22 @@ mod tests {
         assert_eq!(one.ci90, 0.0);
         let same = CiStat::of(&[2.0; 10]);
         assert_eq!(same.ci90, 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped() {
+        // NaN must not poison the mean (pre-fix it did, silently).
+        let s = CiStat::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.n, 2);
+        assert!(s.ci90.is_finite());
+        // Infinities are equally degenerate for a CI.
+        let s = CiStat::of(&[5.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.ci90, 0.0);
+        // All-NaN degenerates to the empty stat.
+        assert_eq!(CiStat::of(&[f64::NAN]), CiStat::default());
     }
 
     #[test]

@@ -119,10 +119,24 @@ pub fn stats() -> RunnerStats {
     }
 }
 
+/// Export the process-global runner counters into the unified metrics
+/// registry under the `runner.*` namespace.
+pub fn export_metrics(m: &mut vdm_trace::MetricsRegistry) {
+    let s = stats();
+    m.counter_add("runner.cells", s.cells as u64);
+    m.counter_add("runner.batches", s.batches as u64);
+    m.gauge_set("runner.busy_s", s.busy.as_secs_f64());
+}
+
 fn execute<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send + '_>>) -> Vec<T> {
     BATCHES_RUN.fetch_add(1, Ordering::Relaxed);
+    let batch = BATCHES_RUN.load(Ordering::Relaxed);
     let run_one = |job: Box<dyn FnOnce() -> T + Send + '_>| {
         let t0 = std::time::Instant::now();
+        let cell = CELLS_RUN.load(Ordering::Relaxed);
+        // Wall-clock profiling scope around each cell (chrome trace
+        // export); ~free unless `vdm_trace::start_profiling` ran.
+        let _scope = vdm_trace::ProfScope::new("runner", || format!("batch{batch}/cell{cell}"));
         let out = job();
         CELLS_RUN.fetch_add(1, Ordering::Relaxed);
         BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -149,6 +163,21 @@ pub fn run_cells<T: Send>(cells: Vec<Cell<'_, T>>) -> Vec<(CellKey, T)> {
             assert!(w[0] != w[1], "duplicate cell key {:?}", w[0]);
         }
     }
+    // Label each cell's profiling span with its key so the chrome
+    // trace shows which (family, row, series, trial) ran where.
+    let jobs: Vec<Box<dyn FnOnce() -> T + Send + '_>> = keys
+        .iter()
+        .cloned()
+        .zip(jobs)
+        .map(|(k, job)| {
+            Box::new(move || {
+                let _scope = vdm_trace::ProfScope::new("cell", || {
+                    format!("{}/r{}/s{}/t{}", k.family, k.row, k.series, k.trial)
+                });
+                job()
+            }) as Box<dyn FnOnce() -> T + Send + '_>
+        })
+        .collect();
     let results = execute(jobs);
     let mut out: Vec<(CellKey, T)> = keys.into_iter().zip(results).collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));

@@ -26,6 +26,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+use vdm_trace::{TraceEvent, Tracer};
 
 /// Class of a message for loss handling and overhead accounting
 /// (Eq. 3.6: overhead = maintenance messages / data messages).
@@ -134,11 +135,13 @@ pub struct Engine<M> {
     events_processed: u64,
     data_plane: Option<DataPlane>,
     fault_plan: Option<FaultPlan>,
+    tracer: Tracer,
 }
 
 impl<M> Engine<M> {
     /// New engine over `underlay`, with all randomness derived from
-    /// `seed`.
+    /// `seed`. Picks up the process-global [`Tracer`] (disabled unless
+    /// a trace run installed one via `vdm_trace::set_global`).
     pub fn new(underlay: Arc<dyn Underlay + Send + Sync>, seed: u64) -> Self {
         Self {
             now: SimTime::ZERO,
@@ -150,7 +153,21 @@ impl<M> Engine<M> {
             events_processed: 0,
             data_plane: None,
             fault_plan: None,
+            tracer: vdm_trace::global(),
         }
+    }
+
+    /// The engine's trace handle. Protocol agents emit structured
+    /// events through this; it is disabled (a no-op) by default.
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Replace the engine's tracer (tests use a ring-buffer tracer
+    /// without touching the process-global one).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Install a fault-injection schedule. The plan's decisions draw on
@@ -255,15 +272,33 @@ impl<M> Engine<M> {
                 if class == SendClass::Data {
                     self.counters.data_dropped += 1;
                 }
+                self.tracer.emit(self.now.0, || TraceEvent::FaultApplied {
+                    fate: "drop",
+                    from: from.0,
+                    to: to.0,
+                    extra_us: 0,
+                });
                 return false;
             }
             if fate.extra_delay > SimTime::ZERO {
                 self.counters.faults_delayed += 1;
                 fault_extra = fate.extra_delay;
+                self.tracer.emit(self.now.0, || TraceEvent::FaultApplied {
+                    fate: "delay",
+                    from: from.0,
+                    to: to.0,
+                    extra_us: fate.extra_delay.0,
+                });
             }
             if let Some(extra) = fate.duplicate {
                 self.counters.faults_duplicated += 1;
                 fault_dup = Some(extra);
+                self.tracer.emit(self.now.0, || TraceEvent::FaultApplied {
+                    fate: "dup",
+                    from: from.0,
+                    to: to.0,
+                    extra_us: extra.0,
+                });
             }
         }
         if class == SendClass::Data {
@@ -291,7 +326,14 @@ impl<M> Engine<M> {
         if let Some(plan) = self.fault_plan.as_ref() {
             let f = plan.slowdown_factor(self.now, to);
             if f != 1.0 {
+                let base = delay;
                 delay = SimTime::from_ms(delay.as_ms() * f);
+                self.tracer.emit(self.now.0, || TraceEvent::FaultApplied {
+                    fate: "slowdown",
+                    from: from.0,
+                    to: to.0,
+                    extra_us: delay.saturating_sub(base).0,
+                });
             }
         }
         let at = self.now + delay + fault_extra;

@@ -48,16 +48,21 @@ impl SimTime {
     }
 }
 
+// Addition saturates: `SimTime::MAX` is the documented "far future /
+// disabled timer" sentinel, and code like `deadline + grace` must stay
+// at the sentinel instead of panicking (debug) or wrapping into the
+// past (release). Subtraction still panics on underflow — a negative
+// duration is always a logic bug, and there is no sentinel to honor.
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimTime {
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -100,6 +105,21 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c.as_ms(), 14.0);
+    }
+
+    #[test]
+    fn add_saturates_at_the_far_future_sentinel() {
+        // MAX is the "disabled timer" sentinel: offsets added near it
+        // must pin to MAX, not wrap around into the past.
+        assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimTime::MAX, SimTime::MAX);
+        assert_eq!(SimTime(u64::MAX - 10) + SimTime(20), SimTime::MAX);
+        let mut t = SimTime(u64::MAX - 1);
+        t += SimTime(5);
+        assert_eq!(t, SimTime::MAX);
+        // Far from the sentinel, addition is exact.
+        assert_eq!(SimTime(u64::MAX - 10) + SimTime(10), SimTime::MAX);
+        assert_eq!(SimTime(u64::MAX - 10) + SimTime(9), SimTime(u64::MAX - 1));
     }
 
     #[test]

@@ -208,6 +208,14 @@ impl Ctx<'_> {
         self.eng.set_timer(self.me, delay, token);
     }
 
+    /// Emit a structured trace event stamped with the current
+    /// simulation time. No-op (the closure never runs) unless the
+    /// engine carries an enabled [`vdm_trace::Tracer`].
+    #[inline]
+    pub fn trace(&self, f: impl FnOnce() -> vdm_trace::TraceEvent) {
+        self.eng.tracer().emit(self.eng.now().0, f);
+    }
+
     /// Estimate the path loss probability toward `to` (models a probe
     /// train: true path loss plus bounded uniform noise). Used only by
     /// loss-based virtual metrics (Chapter 4); the paper likewise
@@ -577,6 +585,12 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                 f.pending_vdist = vdist;
             }
             ctx.stats.recovery.failover_attempts += 1;
+            let attempt = self.failover.as_ref().map_or(0, |f| f.attempts) as u32;
+            ctx.trace(|| vdm_trace::TraceEvent::FailoverAttempt {
+                host: ctx.me.0,
+                target: target.0,
+                attempt,
+            });
             ctx.send(
                 target,
                 Msg::ConnReq {
@@ -593,6 +607,11 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
     /// Failover exhausted: fall back to the §3.3 reconnection walk.
     fn failover_fall_back_to_walk(&mut self, ctx: &mut Ctx<'_>) {
         self.failover = None;
+        ctx.trace(|| vdm_trace::TraceEvent::FailoverResult {
+            host: ctx.me.0,
+            ok: false,
+            parent: None,
+        });
         let start = self.state.grandparent.unwrap_or(self.source);
         self.start_walk(ctx, WalkPurpose::Reconnect, start);
     }
@@ -625,6 +644,11 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                     .push((ctx.now().as_secs(), took));
                 ctx.stats.recovery.failover_successes += 1;
                 ctx.stats.join_completions += 1;
+                ctx.trace(|| vdm_trace::TraceEvent::FailoverResult {
+                    host: ctx.me.0,
+                    ok: true,
+                    parent: Some(from.0),
+                });
                 self.adopt_parent(
                     ctx,
                     from,
@@ -688,6 +712,10 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                 // toward a sibling rather than ghost-admitting it.
                 self.admit_queue.pop_front();
                 ctx.stats.recovery.joins_shed += 1;
+                ctx.trace(|| vdm_trace::TraceEvent::AdmissionShed {
+                    host: ctx.me.0,
+                    joiner: q.from.0,
+                });
                 self.redirect_or_reject(ctx, q.from, q.nonce);
                 continue;
             }
@@ -864,6 +892,10 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         self.state.parent = None;
         self.orphaned_at = Some(ctx.now());
         ctx.stats.recovery.orphan_events += 1;
+        ctx.trace(|| vdm_trace::TraceEvent::Orphaned {
+            host: ctx.me.0,
+            old_parent: dead.map(|p| p.0),
+        });
         // Proactive path first: direct requests at pre-validated backup
         // parents cost one RTT instead of a full walk.
         if self.cfg.resilience.is_some() && self.start_failover(ctx, dead) {
@@ -918,6 +950,11 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         self.state.parent = Some(parent);
         self.state.parent_dist = Some(vdist);
         self.state.grandparent = grandparent;
+        ctx.trace(|| vdm_trace::TraceEvent::ParentChange {
+            host: ctx.me.0,
+            parent: parent.0,
+            vdist,
+        });
         if self.cfg.maintain_root_path {
             self.state.root_path = root_path;
         }
@@ -1133,6 +1170,10 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                     self.accept_new_child(ctx, from, nonce, vdist);
                 } else if self.admit_queue.len() < a.queue {
                     ctx.stats.recovery.joins_throttled += 1;
+                    ctx.trace(|| vdm_trace::TraceEvent::AdmissionThrottled {
+                        host: ctx.me.0,
+                        joiner: from.0,
+                    });
                     self.admit_queue.push_back(QueuedJoin {
                         from,
                         nonce,
@@ -1142,6 +1183,10 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                     self.arm_admit_timer(ctx, &a);
                 } else {
                     ctx.stats.recovery.joins_shed += 1;
+                    ctx.trace(|| vdm_trace::TraceEvent::AdmissionShed {
+                        host: ctx.me.0,
+                        joiner: from.0,
+                    });
                     self.redirect_or_reject(ctx, from, nonce);
                 }
             } else {
@@ -1357,6 +1402,10 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                         }
                         ChunkClass::Repaired => {
                             ctx.stats.recovery.chunks_repaired += 1;
+                            ctx.trace(|| vdm_trace::TraceEvent::ChunkRepaired {
+                                host: ctx.me.0,
+                                seq,
+                            });
                             self.deliver_chunk(ctx, seq, false);
                         }
                         ChunkClass::Duplicate => {}
@@ -1452,6 +1501,11 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                         // bumped, so they re-fire after reconnecting.
                         if let Some(p) = self.state.parent {
                             ctx.stats.recovery.nacks_sent += 1;
+                            ctx.trace(|| vdm_trace::TraceEvent::NackSent {
+                                host: ctx.me.0,
+                                parent: p.0,
+                                count: batch.len() as u32,
+                            });
                             ctx.send(p, Msg::Nack { seqs: batch });
                         }
                     }

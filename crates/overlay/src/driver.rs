@@ -175,11 +175,15 @@ impl<F: AgentFactory> WorldState<F> {
             hopcount_leaf_mean: tm.hopcount_leaf_mean,
             usage_ms: tm.usage_ms,
             usage_normalized: tm.usage_normalized,
+            // Clamped at 0: NACK retransmits can deliver more chunks in
+            // a slot than the slot expected (see RunStats::overall_loss);
+            // the excess is reported as `duplicates` instead.
             loss_rate: if d_expected > 0 {
-                1.0 - d_received as f64 / d_expected as f64
+                (1.0 - d_received as f64 / d_expected as f64).max(0.0)
             } else {
                 0.0
             },
+            duplicates: d_received.saturating_sub(d_expected),
             overhead: if d_data > 0 {
                 d_control as f64 / d_data as f64
             } else {

@@ -17,12 +17,23 @@ pub struct Summary {
 
 impl Summary {
     /// Summarize an iterator of samples.
+    ///
+    /// Non-finite samples (NaN, ±inf) are **skipped** and do not count:
+    /// a NaN would otherwise poison the mean silently (and min/max
+    /// depending on position), turning one degenerate measurement into
+    /// a corrupted aggregate. Sources that can legitimately produce
+    /// NaN (e.g. a 0/0 ratio over an empty slot) therefore simply
+    /// contribute nothing, and `count` reports the samples actually
+    /// summarized.
     pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
         let mut sum = 0.0;
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut count = 0usize;
         for v in values {
+            if !v.is_finite() {
+                continue;
+            }
             sum += v;
             min = min.min(v);
             max = max.max(v);
@@ -76,8 +87,12 @@ pub struct SlotMeasurement {
     pub usage_ms: f64,
     /// `usage_ms` normalized by the unicast star's usage.
     pub usage_normalized: f64,
-    /// Slot loss rate: 1 - received/expected over the slot (Eq. 3.7).
+    /// Slot loss rate: 1 - received/expected over the slot (Eq. 3.7),
+    /// clamped at 0 (repair surplus is reported as `duplicates`).
     pub loss_rate: f64,
+    /// Chunks delivered beyond the slot's expectation (NACK
+    /// retransmits landing in this slot).
+    pub duplicates: u64,
     /// Slot overhead: control messages / data messages sent (Eq. 3.6).
     pub overhead: f64,
     /// Slot overhead with the source's emitted chunk count as the
@@ -205,15 +220,33 @@ impl RunStats {
         }
     }
 
-    /// Whole-run loss rate, Eq. 3.7.
+    /// Whole-run loss rate, Eq. 3.7, clamped at 0.
+    ///
+    /// NACK retransmits can push `received` above the lifetime-based
+    /// `expected` denominator (a repaired chunk still counts as
+    /// received even when the orphaned interval shrank `expected`);
+    /// without the clamp the metric goes *negative*. The excess is
+    /// reported separately by [`RunStats::duplicates_delivered`].
     pub fn overall_loss(&self) -> f64 {
         let exp: u64 = self.expected.iter().sum();
         let rcv: u64 = self.received.iter().sum();
         if exp == 0 {
             0.0
         } else {
-            1.0 - rcv as f64 / exp as f64
+            (1.0 - rcv as f64 / exp as f64).max(0.0)
         }
+    }
+
+    /// Chunks delivered beyond each host's lifetime-based expectation
+    /// (summed per-host excess): the surplus that would otherwise
+    /// drive [`RunStats::overall_loss`] negative, typically NACK
+    /// retransmits landing after `expected` stopped accruing.
+    pub fn duplicates_delivered(&self) -> u64 {
+        self.received
+            .iter()
+            .zip(&self.expected)
+            .map(|(&r, &e)| r.saturating_sub(e))
+            .sum()
     }
 
     /// Mean of a per-slot metric over the last `n` measurements (the
@@ -225,6 +258,45 @@ impl RunStats {
             return 0.0;
         }
         slots[slots.len() - take..].iter().map(metric).sum::<f64>() / take as f64
+    }
+
+    /// Export this run's counters into the unified registry under the
+    /// `run.*` / `recovery.*` namespaces (the single snapshot path for
+    /// what used to live only in scattered struct fields).
+    pub fn export_metrics(&self, m: &mut vdm_trace::MetricsRegistry) {
+        m.counter_add("run.source_chunks", self.source_chunks);
+        m.counter_add("run.walk_restarts", self.walk_restarts);
+        m.counter_add("run.join_completions", self.join_completions);
+        m.counter_add("run.rejected_conns", self.rejected_conns);
+        m.counter_add("run.expected_chunks", self.expected.iter().sum());
+        m.counter_add("run.received_chunks", self.received.iter().sum());
+        m.counter_add("run.duplicates_delivered", self.duplicates_delivered());
+        m.gauge_set("run.overall_loss", self.overall_loss());
+        m.gauge_set("run.measurements", self.measurements.len() as f64);
+
+        let r = &self.recovery;
+        m.counter_add("recovery.orphan_events", r.orphan_events);
+        m.counter_add("recovery.reconnections", r.reconnections.len() as u64);
+        m.counter_add("recovery.delivery_gaps", r.delivery_gaps.len() as u64);
+        m.counter_add("recovery.invariant_violations", r.total_violations() as u64);
+        m.counter_add("recovery.failover_attempts", r.failover_attempts);
+        m.counter_add("recovery.failover_successes", r.failover_successes);
+        m.counter_add("recovery.nacks_sent", r.nacks_sent);
+        m.counter_add("recovery.chunks_repaired", r.chunks_repaired);
+        m.counter_add("recovery.chunks_lost", r.chunks_lost);
+        m.counter_add("recovery.joins_throttled", r.joins_throttled);
+        m.counter_add("recovery.joins_shed", r.joins_shed);
+        // Fixed buckets in seconds: sub-second failover through
+        // walk-scale (tens of seconds) recovery.
+        const SECS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0];
+        let h = m.histogram("recovery.reconnect_s", SECS);
+        for &(_, d) in &r.reconnections {
+            h.observe(d);
+        }
+        let h = m.histogram("recovery.gap_s", SECS);
+        for &(_, d) in &r.delivery_gaps {
+            h.observe(d);
+        }
     }
 }
 
@@ -252,6 +324,58 @@ mod tests {
         assert!((rs.overall_loss() - 0.1).abs() < 1e-9);
         let empty = RunStats::new(2);
         assert_eq!(empty.overall_loss(), 0.0);
+    }
+
+    #[test]
+    fn summary_skips_non_finite_samples() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.count, 2);
+        // All-NaN degenerates to the empty summary, not a NaN one.
+        assert_eq!(Summary::of([f64::NAN, f64::NAN]), Summary::default());
+    }
+
+    #[test]
+    fn overall_loss_clamps_and_counts_duplicates() {
+        // NACK retransmits pushed host 0 above its lifetime-based
+        // expectation; loss must clamp at 0, not go negative, and the
+        // excess surfaces as duplicates.
+        let mut rs = RunStats::new(3);
+        rs.expected = vec![100, 50, 10];
+        rs.received = vec![120, 48, 10];
+        assert_eq!(rs.overall_loss(), 0.0);
+        assert_eq!(rs.duplicates_delivered(), 20);
+        // Per-host excess does not cancel against another host's loss
+        // in the duplicates metric.
+        rs.received = vec![120, 30, 10];
+        assert_eq!(rs.duplicates_delivered(), 20);
+        assert_eq!(rs.overall_loss(), 0.0);
+        // Genuine loss is unaffected by the clamp.
+        rs.received = vec![90, 45, 10];
+        assert!(rs.overall_loss() > 0.0);
+        assert_eq!(rs.duplicates_delivered(), 0);
+    }
+
+    #[test]
+    fn export_metrics_absorbs_recovery_counters() {
+        let mut rs = RunStats::new(2);
+        rs.expected = vec![10, 10];
+        rs.received = vec![12, 9];
+        rs.walk_restarts = 4;
+        rs.recovery.orphan_events = 3;
+        rs.recovery.reconnections = vec![(10.0, 0.7), (20.0, 12.0)];
+        rs.recovery.nacks_sent = 5;
+        let mut m = vdm_trace::MetricsRegistry::new();
+        rs.export_metrics(&mut m);
+        assert_eq!(m.counter("recovery.orphan_events"), 3);
+        assert_eq!(m.counter("recovery.nacks_sent"), 5);
+        assert_eq!(m.counter("run.walk_restarts"), 4);
+        assert_eq!(m.counter("run.duplicates_delivered"), 2);
+        assert_eq!(m.gauge("run.overall_loss"), Some(0.0));
+        let h = m.get_histogram("recovery.reconnect_s").unwrap();
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

@@ -313,11 +313,11 @@ mod tests {
             rtt_ms
         }
         fn decide(&self, p: &ProbeResult, _purpose: crate::walk::WalkPurpose) -> WalkStep {
-            match p
-                .children
-                .iter()
-                .min_by(|a, b| a.d_new_child.total_cmp(&b.d_new_child))
-            {
+            match p.children.iter().min_by(|a, b| {
+                a.d_new_child
+                    .total_cmp(&b.d_new_child)
+                    .then(a.child.cmp(&b.child))
+            }) {
                 Some(best) if best.d_new_child < p.d_current => WalkStep::Descend(best.child),
                 _ => WalkStep::Attach { splice: vec![] },
             }

@@ -95,6 +95,28 @@ pub trait WalkPolicy {
         let _ = state;
         source
     }
+
+    /// Classify each probed child for trace output, using the
+    /// protocol's own directionality test (VDM overrides this with its
+    /// Case I/II/III classifier). Only called when tracing is enabled;
+    /// must be a pure function of the probe round. Default: every
+    /// child is [`vdm_trace::CaseClass::Unknown`].
+    fn classify_for_trace(&self, probe: &ProbeResult) -> Vec<(HostId, vdm_trace::CaseClass)> {
+        probe
+            .children
+            .iter()
+            .map(|c| (c.child, vdm_trace::CaseClass::Unknown))
+            .collect()
+    }
+}
+
+/// Stable trace label for a walk purpose.
+pub(crate) fn purpose_label(p: WalkPurpose) -> &'static str {
+    match p {
+        WalkPurpose::Join => "join",
+        WalkPurpose::Reconnect => "rejoin",
+        WalkPurpose::Refine => "refine",
+    }
 }
 
 /// Why the walk is running; determines timing stats and the start node.
@@ -282,6 +304,11 @@ impl Walk {
                 retries: 0,
             },
         };
+        ctx.trace(|| vdm_trace::TraceEvent::WalkStart {
+            host: ctx.me.0,
+            purpose: purpose_label(purpose),
+            start: start.0,
+        });
         w.begin_info(ctx);
         w
     }
@@ -342,6 +369,11 @@ impl Walk {
     fn restart(&mut self, ctx: &mut Ctx<'_>) -> Option<WalkOutcome> {
         self.restarts += 1;
         ctx.stats.walk_restarts += 1;
+        ctx.trace(|| vdm_trace::TraceEvent::WalkRestart {
+            host: ctx.me.0,
+            restarts: self.restarts,
+            anchor: self.fallback.0,
+        });
         if self.restarts > self.cfg.max_restarts {
             return Some(WalkOutcome::Failed);
         }
@@ -464,6 +496,11 @@ impl Walk {
                             })
                             .collect();
                         ctx.stats.join_completions += 1;
+                        ctx.trace(|| vdm_trace::TraceEvent::WalkConnected {
+                            host: ctx.me.0,
+                            parent: from.0,
+                            purpose: purpose_label(self.purpose),
+                        });
                         Some(WalkOutcome::Connected {
                             parent: from,
                             grandparent: *grandparent,
@@ -569,7 +606,29 @@ impl Walk {
         };
         self.iteration += 1;
         let purpose = self.purpose;
-        match policy.decide(&probe, purpose) {
+        let step = policy.decide(&probe, purpose);
+        ctx.trace(|| {
+            let cases: Vec<(u32, vdm_trace::CaseClass)> = policy
+                .classify_for_trace(&probe)
+                .into_iter()
+                .map(|(h, c)| (h.0, c))
+                .collect();
+            let (action, next, splice): (&'static str, u32, Option<u32>) = match &step {
+                WalkStep::Descend(n) => ("descend", n.0, None),
+                WalkStep::Attach { splice } => {
+                    ("attach", probe.current.0, splice.first().map(|h| h.0))
+                }
+            };
+            vdm_trace::TraceEvent::WalkDecision {
+                host: ctx.me.0,
+                at: probe.current.0,
+                cases: vdm_trace::encode_cases(&cases),
+                action,
+                next,
+                splice,
+            }
+        });
+        match step {
             WalkStep::Descend(next) => {
                 debug_assert!(probe.children.iter().any(|c| c.child == next));
                 self.current = next;

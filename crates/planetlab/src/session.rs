@@ -218,9 +218,11 @@ impl SessionRunner {
                 .map(|&o| space.rtt_ms(h, o))
                 .sum()
         };
+        // Host-id tie-break: `selected` is freshly shuffled, so without
+        // it two equally-central hosts would resolve by shuffle order.
         let source = *selected
             .iter()
-            .min_by(|&&a, &&b| central(a).total_cmp(&central(b)))
+            .min_by(|&&a, &&b| central(a).total_cmp(&central(b)).then(a.0.cmp(&b.0)))
             .expect("non-empty selection");
         selected.retain(|&h| h != source);
 

@@ -132,6 +132,15 @@ pub fn stats() -> CacheStats {
     }
 }
 
+/// Export the process-global cache counters into the unified metrics
+/// registry under the `cache.*` namespace.
+pub fn export_metrics(m: &mut vdm_trace::MetricsRegistry) {
+    let s = stats();
+    m.counter_add("cache.hits", s.hits);
+    m.counter_add("cache.misses", s.misses);
+    m.counter_add("cache.write_errors", s.write_errors);
+}
+
 /// One on-disk artifact store.
 #[derive(Clone, Debug)]
 pub struct CacheStore {
@@ -152,7 +161,7 @@ impl CacheStore {
     /// Load an artifact's bytes; `None` (a miss) when absent or
     /// unreadable.
     pub fn load(&self, key: &CacheKey) -> Option<Vec<u8>> {
-        match std::fs::read(self.dir.join(key.file_name())) {
+        let out = match std::fs::read(self.dir.join(key.file_name())) {
             Ok(bytes) => {
                 HITS.fetch_add(1, Ordering::Relaxed);
                 Some(bytes)
@@ -161,7 +170,14 @@ impl CacheStore {
                 MISSES.fetch_add(1, Ordering::Relaxed);
                 None
             }
-        }
+        };
+        // Cache lookups happen outside simulated time; records carry
+        // t_us = 0 and are process-level observations.
+        vdm_trace::global().emit(0, || vdm_trace::TraceEvent::CacheLookup {
+            domain: key.domain.to_string(),
+            hit: out.is_some(),
+        });
+        out
     }
 
     /// Persist an artifact atomically (temp file + rename, so concurrent

@@ -1,0 +1,194 @@
+//! Wall-clock profiling scopes with chrome://tracing export.
+//!
+//! Scopes are recorded process-globally (the experiment runner fans
+//! cells across threads; each thread records under its own `tid`) and
+//! exported as chrome trace-event JSON — open the file at
+//! `chrome://tracing` or <https://ui.perfetto.dev> to see the cell
+//! execution timeline. Disabled by default: a [`ProfScope`] costs one
+//! relaxed atomic load when profiling is off.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed profiling span.
+#[derive(Clone, Debug)]
+pub struct ProfSpan {
+    /// Scope name, e.g. `cell:A7/row0/s1/t2`.
+    pub name: String,
+    /// Category, e.g. `runner`.
+    pub cat: &'static str,
+    /// Start, µs since profiling was enabled.
+    pub ts_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Recording thread (stable small integer per thread).
+    pub tid: u64,
+}
+
+struct ProfState {
+    t0: Instant,
+    spans: Vec<ProfSpan>,
+    next_tid: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<ProfState> {
+    static STATE: OnceLock<Mutex<ProfState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(ProfState {
+            t0: Instant::now(),
+            spans: Vec::new(),
+            next_tid: 0,
+        })
+    })
+}
+
+thread_local! {
+    static TID: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+fn my_tid(st: &mut ProfState) -> u64 {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = st.next_tid;
+            st.next_tid += 1;
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Is wall-clock profiling currently on?
+#[inline]
+pub fn profiling_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable profiling and reset the span buffer and clock origin.
+pub fn start_profiling() {
+    let mut st = state().lock().expect("prof lock");
+    st.t0 = Instant::now();
+    st.spans.clear();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disable profiling and take every span recorded since
+/// [`start_profiling`].
+pub fn stop_profiling() -> Vec<ProfSpan> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut st = state().lock().expect("prof lock");
+    std::mem::take(&mut st.spans)
+}
+
+/// RAII profiling scope: records a span from construction to drop
+/// when profiling is enabled, otherwise does ~nothing.
+pub struct ProfScope {
+    // None when profiling was off at construction.
+    live: Option<(String, &'static str, Instant)>,
+}
+
+impl ProfScope {
+    /// Open a scope named by `name()` (only called when enabled).
+    pub fn new(cat: &'static str, name: impl FnOnce() -> String) -> Self {
+        if profiling_enabled() {
+            ProfScope {
+                live: Some((name(), cat, Instant::now())),
+            }
+        } else {
+            ProfScope { live: None }
+        }
+    }
+}
+
+impl Drop for ProfScope {
+    fn drop(&mut self) {
+        if let Some((name, cat, start)) = self.live.take() {
+            let dur_us = start.elapsed().as_micros() as u64;
+            let mut st = state().lock().expect("prof lock");
+            let ts_us = start.duration_since(st.t0).as_micros() as u64;
+            let tid = my_tid(&mut st);
+            st.spans.push(ProfSpan {
+                name,
+                cat,
+                ts_us,
+                dur_us,
+                tid,
+            });
+        }
+    }
+}
+
+/// Write spans as a chrome://tracing-compatible trace-event file
+/// (`{"traceEvents":[...]}` of phase-`X` complete events).
+pub fn write_chrome_trace(mut w: impl io::Write, spans: &[ProfSpan]) -> io::Result<()> {
+    write!(w, "{{\"traceEvents\":[")?;
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        let mut name = String::new();
+        crate::json::push_json_str(&mut name, &s.name);
+        write!(
+            w,
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            name, s.cat, s.ts_us, s.dur_us, s.tid
+        )?;
+    }
+    write!(w, "],\"displayTimeUnit\":\"ms\"}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_record_only_when_enabled() {
+        // Serialize against other tests touching the global profiler.
+        let _spans0 = stop_profiling();
+        {
+            let _off = ProfScope::new("test", || "should-not-appear".into());
+        }
+        start_profiling();
+        {
+            let _on = ProfScope::new("test", || "cell:demo".into());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let spans = stop_profiling();
+        assert!(spans.iter().any(|s| s.name == "cell:demo"));
+        assert!(!spans.iter().any(|s| s.name == "should-not-appear"));
+        let demo = spans.iter().find(|s| s.name == "cell:demo").unwrap();
+        assert!(demo.dur_us >= 1000, "dur_us={}", demo.dur_us);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let spans = vec![
+            ProfSpan {
+                name: "cell:A8/r0".into(),
+                cat: "runner",
+                ts_us: 10,
+                dur_us: 250,
+                tid: 0,
+            },
+            ProfSpan {
+                name: "with \"quotes\"".into(),
+                cat: "runner",
+                ts_us: 400,
+                dur_us: 5,
+                tid: 1,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &spans).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\\\"quotes\\\""));
+        assert!(s.ends_with("}"));
+    }
+}

@@ -1,0 +1,118 @@
+//! The observability layer is pure observation: enabling the tracer
+//! must not change a single output byte, and the event log it produces
+//! must be parseable, non-trivial structured data.
+//!
+//! Everything lives in one `#[test]` because the tracer is
+//! process-global: a second test running concurrently in this binary
+//! would bleed its engines' events into the shared sink mid-assertion.
+
+use std::sync::{Arc, Mutex};
+use vdm_experiments::figures::soak;
+use vdm_experiments::runner::{with_mode, ExecMode};
+use vdm_experiments::{Effort, Table};
+use vdm_trace::json::{parse_flat_object, Value};
+use vdm_trace::{record_touches_host, EventSink, JsonlSink, Tracer};
+
+fn csv_blob(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(Table::to_csv)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn tracing_is_invisible_to_outputs_and_produces_a_parseable_log() {
+    // Reference run, tracer disabled (the default).
+    let baseline = with_mode(ExecMode::Sequential, || {
+        soak::soak_resilience(Effort::Quick, 42)
+    });
+
+    // Same run with a JSONL tracer capturing into memory.
+    let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())));
+    let prev = vdm_trace::set_global(Tracer::with_sink(sink.clone() as Arc<Mutex<dyn EventSink>>));
+    let traced = with_mode(ExecMode::Sequential, || {
+        soak::soak_resilience(Effort::Quick, 42)
+    });
+    vdm_trace::set_global(prev);
+    let log = {
+        let mut s = sink.lock().unwrap();
+        s.flush();
+        String::from_utf8(std::mem::take(s.writer_mut())).expect("utf-8 log")
+    };
+
+    // 1. Bit-for-bit golden equivalence with tracing on.
+    assert_eq!(baseline.len(), traced.len());
+    assert_eq!(
+        csv_blob(&baseline),
+        csv_blob(&traced),
+        "enabling the tracer changed simulation output"
+    );
+
+    // 2. The log is non-empty and every line is a flat JSON record
+    //    with a timestamp and a kind.
+    let recs: Vec<_> = log
+        .lines()
+        .map(|l| parse_flat_object(l).unwrap_or_else(|| panic!("malformed record: {l}")))
+        .collect();
+    assert!(
+        recs.len() > 100,
+        "a full soak family should emit thousands of events, got {}",
+        recs.len()
+    );
+    for rec in &recs {
+        assert!(rec.get("t_us").and_then(Value::as_num).is_some());
+        assert!(rec.get("kind").and_then(Value::as_str).is_some());
+    }
+
+    // 3. The protocol's life-cycle events all show up: joins walk and
+    //    connect, churn orphans hosts, resilience repairs chunks.
+    let kinds: std::collections::BTreeSet<&str> = recs
+        .iter()
+        .filter_map(|r| r.get("kind").and_then(Value::as_str))
+        .collect();
+    for expected in [
+        "walk_start",
+        "walk_decision",
+        "walk_connected",
+        "parent_change",
+        "orphaned",
+        "failover_attempt",
+        "nack_sent",
+        "chunk_repaired",
+    ] {
+        assert!(kinds.contains(expected), "no `{expected}` event in log");
+    }
+
+    // 4. Timestamps are plausible simulation times (the soak scenario
+    //    runs for minutes of simulated time) and host filtering finds
+    //    the joining hosts.
+    let t_max = recs
+        .iter()
+        .filter_map(|r| r.get("t_us").and_then(Value::as_num))
+        .fold(0.0f64, f64::max);
+    assert!(
+        t_max > 60e6,
+        "soak trace should span minutes, got {t_max}µs"
+    );
+    assert!(
+        recs.iter().any(|r| record_touches_host(r, 1)),
+        "host 1 never appears in the trace"
+    );
+
+    // 5. Determinism of the log itself: a sequential re-run with a
+    //    fresh sink reproduces the identical byte stream.
+    let sink2 = Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())));
+    let prev = vdm_trace::set_global(Tracer::with_sink(sink2.clone() as Arc<Mutex<dyn EventSink>>));
+    let again = with_mode(ExecMode::Sequential, || {
+        soak::soak_resilience(Effort::Quick, 42)
+    });
+    vdm_trace::set_global(prev);
+    let log2 = {
+        let mut s = sink2.lock().unwrap();
+        s.flush();
+        String::from_utf8(std::mem::take(s.writer_mut())).unwrap()
+    };
+    assert_eq!(csv_blob(&traced), csv_blob(&again));
+    assert_eq!(log, log2, "sequential trace logs differ between runs");
+}
