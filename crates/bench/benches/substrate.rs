@@ -10,7 +10,7 @@ use vdm_core::VdmPolicy;
 use vdm_netsim::{Engine, HostId, LatencySpace, SendClass, SimTime, World};
 use vdm_overlay::sync::SyncOverlay;
 use vdm_topology::transit_stub::{generate, TransitStubConfig};
-use vdm_topology::{mst, Apsp};
+use vdm_topology::{mst, Apsp, NodeId, OnDemandRouter, RouteProvider, RouteRow};
 
 fn bench_topology(c: &mut Criterion) {
     let mut group = c.benchmark_group("transit_stub");
@@ -20,6 +20,35 @@ fn bench_topology(c: &mut Criterion) {
     });
     let g = generate(&TransitStubConfig::paper_792(), 7);
     group.bench_function("apsp_792", |b| b.iter(|| black_box(Apsp::build(&g))));
+    group.finish();
+}
+
+/// On-demand router costs against the same 792-node transit-stub graph
+/// the dense `apsp_792` bench uses: one row build (the per-miss cost at
+/// any scale) and a warm query sweep (the steady-state cost once rows
+/// are resident).
+fn bench_on_demand_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_demand_router");
+    let g = Arc::new(generate(&TransitStubConfig::paper_792(), 7));
+    group.bench_function("row_build_792", |b| {
+        b.iter(|| black_box(RouteRow::compute(&g, NodeId(0))))
+    });
+    let router = OnDemandRouter::new(Arc::clone(&g), Some(16));
+    let sources: Vec<NodeId> = (0..16).map(NodeId).collect();
+    for &s in &sources {
+        router.row(s);
+    }
+    group.bench_function("warm_query_sweep_792", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s in &sources {
+                for t in g.nodes() {
+                    acc += RouteProvider::dist_ms(&router, s, t);
+                }
+            }
+            black_box(acc)
+        })
+    });
     group.finish();
 }
 
@@ -105,6 +134,7 @@ fn bench_join_complexity(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_topology,
+    bench_on_demand_router,
     bench_mst,
     bench_engine,
     bench_join_complexity

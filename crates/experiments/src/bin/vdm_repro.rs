@@ -5,6 +5,7 @@
 //! vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]
 //!                    [--cache DIR|--no-cache] [--sequential]
 //! vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]
+//! vdm-repro scale [--quick|--paper] [--smoke] [--seed N] [--csv DIR]
 //! vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]
 //!                          [--csv DIR] [--cache DIR|--no-cache]
 //! vdm-repro trace filter    --input FILE [--host N] [--kind K]
@@ -28,6 +29,13 @@
 //!   chaos         extra (A7)      seeded fault injection: recovery, VDM vs HMTP
 //!   soak          extra (A8)      sustained churn: proactive resilience on/off
 //!   all           everything above
+//!
+//! `scale` (A9) is separate from `all` like `bench`: it joins N members
+//! (up to 20k with --paper) under VDM and HMTP over power-law underlays
+//! routed by the memory-bounded on-demand router — no O(n^2) matrix —
+//! and writes `BENCH_scale.json` (per-N wall-clock, walk contacts vs
+//! the n·log N prediction, resident-row peak). `--smoke` runs tiny
+//! sizes sequentially for CI gating.
 //! ```
 //!
 //! Runs fan their simulation cells across a thread pool
@@ -58,7 +66,9 @@ use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use vdm_experiments::figures::{ablation, chaos, compare, complexity, fig3, fig4, fig5, soak};
+use vdm_experiments::figures::{
+    ablation, chaos, compare, complexity, fig3, fig4, fig5, scale, soak,
+};
 use vdm_experiments::{runner, setup, Effort, Table};
 use vdm_topology::cache;
 use vdm_trace::json::Value;
@@ -232,6 +242,32 @@ fn run_bench(opts: &Opts, smoke: bool) -> io::Result<()> {
     Ok(())
 }
 
+/// `vdm-repro scale` (A9): join up to 20k members under VDM and HMTP
+/// over on-demand-routed power-law underlays, emit `BENCH_scale.json`.
+fn run_scale(opts: &Opts, smoke: bool) -> io::Result<()> {
+    if smoke {
+        // Tiny and sequential: the CI gate only checks that the report
+        // is produced, parses, and has the right shape.
+        std::env::set_var("VDM_SEQUENTIAL", "1");
+    }
+    let seed = opts.seed;
+    let t0 = Instant::now();
+    let report = if smoke {
+        scale::scale_family_with_sizes(&[64, 128], seed)
+    } else {
+        scale::scale_family(opts.effort, seed)
+    };
+    emit(&report.tables, opts)?;
+    let json = report.to_json(smoke, seed);
+    let dir = opts.csv_dir.clone().unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&dir).map_err(io_ctx(format!("creating scale directory `{dir}`")))?;
+    let path = format!("{dir}/BENCH_scale.json");
+    std::fs::write(&path, &json).map_err(io_ctx(format!("writing scale report `{path}`")))?;
+    println!("  [json] {path}");
+    println!("[done scale in {:.1?}]", t0.elapsed());
+    Ok(())
+}
+
 /// `vdm-repro trace <family>`: run a family with the structured tracer
 /// and profiler on, then write the event log, chrome trace and metrics
 /// snapshot. Exits the process (non-zero on any failure).
@@ -357,6 +393,7 @@ fn trace_run(family: &str, args: &[String]) -> ! {
     let mut m = vdm_trace::MetricsRegistry::new();
     runner::export_metrics(&mut m);
     cache::export_metrics(&mut m);
+    vdm_topology::router::export_metrics(&mut m);
     let metrics_path = format!("{out_dir}/metrics_{family}.json");
     if let Err(e) = std::fs::write(&metrics_path, m.to_json())
         .map_err(io_ctx(format!("writing metrics `{metrics_path}`")))
@@ -666,8 +703,8 @@ fn main() {
         }
         return;
     }
-    if smoke {
-        eprintln!("error: --smoke only applies to `bench`");
+    if smoke && family != "scale" {
+        eprintln!("error: --smoke only applies to `bench` and `scale`");
         std::process::exit(2);
     }
     // The chaos and soak families always leave a CSV audit trail (their
@@ -681,6 +718,15 @@ fn main() {
     } else if cache_dir.is_some() {
         eprintln!("error: --cache and --no-cache are mutually exclusive");
         std::process::exit(2);
+    }
+    if family == "scale" {
+        // A9 sizes its own underlays; small ones persist routing rows
+        // through the cache installed above, large ones stay in-memory.
+        if let Err(e) = run_scale(&opts, smoke) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
     let run = |name: &str| -> bool {
         match run_family(name, &opts) {
@@ -709,6 +755,7 @@ fn print_usage() {
         "usage: vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]\n\
          \x20                  [--cache DIR|--no-cache] [--sequential]\n\
          \x20      vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]\n\
+         \x20      vdm-repro scale [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]\n\
          \x20                  [--csv DIR] [--cache DIR|--no-cache]\n\
          \x20      vdm-repro trace filter|summarize|dump --input FILE\n\

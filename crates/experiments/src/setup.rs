@@ -9,6 +9,7 @@
 //! cache state.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::cell::Cell;
 use std::sync::Arc;
 use vdm_netsim::{HostId, RoutedUnderlay};
 use vdm_topology::cache::{self, codec, KeyHasher};
@@ -17,11 +18,68 @@ use vdm_topology::transit_stub::{attach_hosts, generate, randomize_losses, Trans
 use vdm_topology::waxman::{self, WaxmanConfig};
 use vdm_topology::{Apsp, Graph, NodeId};
 
+/// Which routing oracle setup builders put behind `RoutedUnderlay`.
+///
+/// Both oracles answer queries bit-identically (see
+/// `vdm_topology::router`), so this is purely a memory/time trade:
+/// dense is `O(n^2)` once, on-demand is `O(capacity · n)` resident.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RouterChoice {
+    /// Follow the `VDM_ROUTER` environment variable (`dense` or
+    /// `on-demand`); dense when unset — the historical behaviour, and
+    /// the one whose whole-matrix artifacts are already cached.
+    #[default]
+    Auto,
+    /// Dense [`Apsp`] matrix (exact oracle, whole-matrix artifact cache).
+    Dense,
+    /// Memory-bounded on-demand rows (no `O(n^2)` materialization).
+    OnDemand,
+}
+
+thread_local! {
+    static ROUTER_CHOICE: Cell<RouterChoice> = const { Cell::new(RouterChoice::Auto) };
+}
+
+/// Run `f` with every setup builder on this thread using `choice`
+/// (restored afterwards, including on unwind). The runner's sequential
+/// mode executes cells on the calling thread, so wrapping a family run
+/// switches its underlays wholesale.
+pub fn with_router_choice<T>(choice: RouterChoice, f: impl FnOnce() -> T) -> T {
+    struct Restore(RouterChoice);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ROUTER_CHOICE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(ROUTER_CHOICE.with(|c| c.replace(choice)));
+    f()
+}
+
+/// The effective router choice for this thread.
+fn resolved_router_choice() -> RouterChoice {
+    match ROUTER_CHOICE.with(|c| c.get()) {
+        RouterChoice::Auto => match std::env::var("VDM_ROUTER").ok().as_deref() {
+            Some("on-demand") | Some("ondemand") => RouterChoice::OnDemand,
+            _ => RouterChoice::Dense,
+        },
+        c => c,
+    }
+}
+
+/// Largest underlay (nodes) whose on-demand routing rows are persisted
+/// to the artifact cache. A row is 16 bytes/node, so a full row set is
+/// `16·n^2` bytes — ~67 MB at this bound, but multiple GB at A9's 10k+
+/// nodes, where rows are recomputed instead.
+pub const ROW_PERSIST_MAX_NODES: usize = 2048;
+
 /// Serialize a routed underlay as one cache artifact: graph, routing
 /// table, host attachment points.
 fn encode_underlay(u: &RoutedUnderlay) -> Vec<u8> {
     let graph = u.graph().to_bytes();
-    let apsp = u.apsp().to_bytes();
+    let apsp = u
+        .apsp()
+        .expect("whole-matrix artifacts exist only for dense underlays")
+        .to_bytes();
     let mut w = codec::ByteWriter::with_capacity(graph.len() + apsp.len() + 64);
     w.put_blob(&graph);
     w.put_blob(&apsp);
@@ -50,20 +108,40 @@ fn decode_underlay(bytes: &[u8]) -> Option<RoutedUnderlay> {
     ))
 }
 
-/// Build (or load) a routed underlay through the global artifact cache.
+/// Build (or load) a routed underlay. Dense (the default): through the
+/// global artifact cache, whole graph + APSP matrix as one artifact —
+/// bit-identical keys and bytes to every prior release. On-demand
+/// (opted in via [`with_router_choice`] / `VDM_ROUTER`): the graph is
+/// built fresh (generation is cheap next to APSP) and routing rows are
+/// computed lazily, persisted per-row only below
+/// [`ROW_PERSIST_MAX_NODES`].
 fn cached_underlay(
     domain: &'static str,
     feed_key: impl FnOnce(&mut KeyHasher),
-    build: impl FnOnce() -> RoutedUnderlay,
+    build_graph: impl FnOnce() -> (Graph, Vec<NodeId>),
 ) -> Arc<RoutedUnderlay> {
     let mut h = KeyHasher::new();
     feed_key(&mut h);
-    Arc::new(cache::get_or_compute_global(
-        &h.key(domain),
-        build,
-        encode_underlay,
-        decode_underlay,
-    ))
+    match resolved_router_choice() {
+        RouterChoice::OnDemand => {
+            let (g, hosts) = build_graph();
+            let persist = (g.num_nodes() <= ROW_PERSIST_MAX_NODES).then(|| {
+                let mut hk = h.clone();
+                hk.feed_str(domain);
+                hk
+            });
+            Arc::new(RoutedUnderlay::on_demand(Arc::new(g), hosts, None, persist))
+        }
+        _ => Arc::new(cache::get_or_compute_global(
+            &h.key(domain),
+            || {
+                let (g, hosts) = build_graph();
+                RoutedUnderlay::new(g, hosts)
+            },
+            encode_underlay,
+            decode_underlay,
+        )),
+    }
 }
 
 /// A ready Chapter 3 testbed: transit-stub routers with attached hosts,
@@ -115,7 +193,7 @@ pub fn ch3_setup(members: usize, link_loss: f64, topo_seed: u64) -> Ch3Setup {
                 randomize_losses(&mut g, link_loss, topo_seed);
             }
             let hosts = attach_hosts(&mut g, needed, topo_seed, 0.0);
-            RoutedUnderlay::new(g, hosts)
+            (g, hosts)
         },
     );
     Ch3Setup {
@@ -148,7 +226,7 @@ pub fn waxman_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
             );
             let mut g = wg.graph;
             let hosts = attach_hosts(&mut g, members + 1, seed, 0.0);
-            RoutedUnderlay::new(g, hosts)
+            (g, hosts)
         },
     );
     Ch3Setup {
@@ -180,9 +258,41 @@ pub fn powerlaw_setup(members: usize, routers: usize, seed: u64) -> Ch3Setup {
                 seed,
             );
             let hosts = attach_hosts(&mut g, members + 1, seed, 0.0);
-            RoutedUnderlay::new(g, hosts)
+            (g, hosts)
         },
     );
+    Ch3Setup {
+        underlay,
+        source: HostId(0),
+        candidates: (1..=members as u32).map(HostId).collect(),
+    }
+}
+
+/// The A9 scaling testbed: a power-law underlay sized for `members`
+/// overlay hosts, always routed on demand — no `O(n^2)` structure is
+/// ever materialized, which is what lets A9 run 10k–20k members.
+///
+/// Routing rows persist to the artifact cache only below
+/// [`ROW_PERSIST_MAX_NODES`]; big underlays recompute rows (bounded by
+/// the LRU) instead of writing gigabytes of artifacts.
+pub fn scale_setup(members: usize, seed: u64) -> Ch3Setup {
+    let routers = members + members / 8 + 32;
+    let mut g = powerlaw::generate(
+        &PowerLawConfig {
+            nodes: routers,
+            ..PowerLawConfig::default()
+        },
+        seed,
+    );
+    let hosts = attach_hosts(&mut g, members + 1, seed, 0.0);
+    let persist = (g.num_nodes() <= ROW_PERSIST_MAX_NODES).then(|| {
+        let mut h = KeyHasher::new();
+        h.feed_str("scale-powerlaw")
+            .feed_usize(members)
+            .feed_u64(seed);
+        h
+    });
+    let underlay = Arc::new(RoutedUnderlay::on_demand(Arc::new(g), hosts, None, persist));
     Ch3Setup {
         underlay,
         source: HostId(0),
@@ -266,6 +376,37 @@ mod tests {
         assert_eq!(s.underlay.num_hosts(), 21);
         assert!(s.underlay.rtt_ms(HostId(0), HostId(20)) > 0.0);
         assert!(s.underlay.graph().is_connected());
+    }
+
+    #[test]
+    fn on_demand_override_matches_dense() {
+        let dense = waxman_setup(12, 40, 7);
+        let od = with_router_choice(RouterChoice::OnDemand, || waxman_setup(12, 40, 7));
+        assert!(od.underlay.apsp().is_none());
+        assert!(od.underlay.router().is_some());
+        for a in 0..13u32 {
+            for b in 0..13u32 {
+                assert_eq!(
+                    od.underlay.rtt_ms(HostId(a), HostId(b)).to_bits(),
+                    dense.underlay.rtt_ms(HostId(a), HostId(b)).to_bits(),
+                    "rtt h{a}->h{b}"
+                );
+            }
+        }
+        // The override is scoped: after the closure, builds are dense again.
+        assert!(waxman_setup(12, 40, 7).underlay.apsp().is_some());
+    }
+
+    #[test]
+    fn scale_setup_is_on_demand() {
+        let s = scale_setup(40, 9);
+        assert_eq!(s.underlay.num_hosts(), 41);
+        assert_eq!(s.candidates.len(), 40);
+        assert!(s.underlay.apsp().is_none(), "scale must never go dense");
+        let r = s.underlay.rtt_ms(HostId(0), HostId(40));
+        assert!(r > 0.0 && r.is_finite());
+        let stats = s.underlay.router().unwrap().stats();
+        assert!(stats.resident <= stats.capacity);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   exactly as §5.3 does.
 
 use rand::{Rng, RngCore};
-use vdm_topology::{Apsp, EdgeId, Graph, Millis, NodeId};
+use std::sync::Arc;
+use vdm_topology::cache::KeyHasher;
+use vdm_topology::{Apsp, EdgeId, Graph, Millis, NodeId, OnDemandRouter, RouteProvider};
 
 /// Index of a simulation host (dense, `0..num_hosts`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -75,10 +77,18 @@ pub trait Underlay {
     }
 }
 
+/// Routing oracle backing a [`RoutedUnderlay`]: the dense exact table
+/// or memory-bounded on-demand rows. Both answer queries bit-for-bit
+/// identically (see `vdm_topology::router`).
+enum Routes {
+    Dense(Apsp),
+    OnDemand(Arc<OnDemandRouter>),
+}
+
 /// Hosts attached to a router graph; routes are delay-shortest paths.
 pub struct RoutedUnderlay {
-    graph: Graph,
-    apsp: Apsp,
+    graph: Arc<Graph>,
+    routes: Routes,
     /// Graph node of each host.
     host_nodes: Vec<NodeId>,
 }
@@ -87,25 +97,12 @@ impl RoutedUnderlay {
     /// Build from a router+host graph and the graph nodes that act as
     /// hosts (typically from `transit_stub::attach_hosts`).
     ///
-    /// Runs all-pairs shortest paths once; `O(V * E log V)`.
+    /// Runs all-pairs shortest paths once; `O(V * E log V)` time and
+    /// `O(V^2)` memory — use [`RoutedUnderlay::on_demand`] past a few
+    /// thousand routers.
     pub fn new(graph: Graph, host_nodes: Vec<NodeId>) -> Self {
-        assert!(!host_nodes.is_empty(), "need at least one host");
-        for &h in &host_nodes {
-            assert!(h.idx() < graph.num_nodes());
-        }
         let apsp = Apsp::build(&graph);
-        // All hosts must be mutually reachable.
-        for &h in &host_nodes[1..] {
-            assert!(
-                apsp.dist_ms(host_nodes[0], h).is_finite(),
-                "host {h} unreachable"
-            );
-        }
-        Self {
-            graph,
-            apsp,
-            host_nodes,
-        }
+        Self::from_parts(graph, apsp, host_nodes)
     }
 
     /// Rebuild from a cached graph + routing table (see
@@ -135,8 +132,47 @@ impl RoutedUnderlay {
             );
         }
         Self {
+            graph: Arc::new(graph),
+            routes: Routes::Dense(apsp),
+            host_nodes,
+        }
+    }
+
+    /// Build with a memory-bounded [`OnDemandRouter`] instead of the
+    /// dense matrix: per-source Dijkstra rows computed lazily and kept
+    /// in an LRU of at most `capacity` rows (`None` for the default
+    /// ~64 MiB budget). With `persist_key`, rows round-trip through the
+    /// global artifact cache — only sensible for graphs small enough
+    /// that a full row set on disk is acceptable.
+    ///
+    /// Memory is `O(capacity · V)`; no `O(V^2)` structure is ever
+    /// materialized.
+    ///
+    /// # Panics
+    /// Panics when a host is out of range or hosts are mutually
+    /// unreachable, as [`RoutedUnderlay::new`] does (checked from one
+    /// routing row, not a full matrix).
+    pub fn on_demand(
+        graph: Arc<Graph>,
+        host_nodes: Vec<NodeId>,
+        capacity: Option<usize>,
+        persist_key: Option<KeyHasher>,
+    ) -> Self {
+        assert!(!host_nodes.is_empty(), "need at least one host");
+        for &h in &host_nodes {
+            assert!(h.idx() < graph.num_nodes());
+        }
+        let mut router = OnDemandRouter::new(Arc::clone(&graph), capacity);
+        if let Some(key) = persist_key {
+            router = router.with_row_persistence(key);
+        }
+        let row0 = router.row(host_nodes[0]);
+        for &h in &host_nodes[1..] {
+            assert!(row0.dist_ms(h).is_finite(), "host {h} unreachable");
+        }
+        Self {
             graph,
-            apsp,
+            routes: Routes::OnDemand(Arc::new(router)),
             host_nodes,
         }
     }
@@ -152,9 +188,30 @@ impl RoutedUnderlay {
         &self.graph
     }
 
-    /// The routing table.
-    pub fn apsp(&self) -> &Apsp {
-        &self.apsp
+    /// The routing oracle answering distance/path queries.
+    pub fn routes(&self) -> &dyn RouteProvider {
+        match &self.routes {
+            Routes::Dense(a) => a,
+            Routes::OnDemand(r) => r.as_ref(),
+        }
+    }
+
+    /// The dense routing table, when this underlay was built with one
+    /// (`None` for on-demand underlays, which never materialize it).
+    pub fn apsp(&self) -> Option<&Apsp> {
+        match &self.routes {
+            Routes::Dense(a) => Some(a),
+            Routes::OnDemand(_) => None,
+        }
+    }
+
+    /// The on-demand router, when this underlay was built with one
+    /// (for LRU hit/miss/residency stats).
+    pub fn router(&self) -> Option<&OnDemandRouter> {
+        match &self.routes {
+            Routes::Dense(_) => None,
+            Routes::OnDemand(r) => Some(r),
+        }
     }
 
     /// Graph node backing host `h`.
@@ -164,7 +221,7 @@ impl RoutedUnderlay {
 
     /// Router-level hop count between two hosts.
     pub fn hops(&self, a: HostId, b: HostId) -> usize {
-        self.apsp.hop_count(self.node_of(a), self.node_of(b))
+        self.routes().hop_count(self.node_of(a), self.node_of(b))
     }
 }
 
@@ -174,17 +231,17 @@ impl Underlay for RoutedUnderlay {
     }
 
     fn rtt_ms(&self, a: HostId, b: HostId) -> Millis {
-        2.0 * self.apsp.dist_ms(self.node_of(a), self.node_of(b))
+        2.0 * self.routes().dist_ms(self.node_of(a), self.node_of(b))
     }
 
     fn one_way_ms(&self, a: HostId, b: HostId) -> Millis {
-        self.apsp.dist_ms(self.node_of(a), self.node_of(b))
+        self.routes().dist_ms(self.node_of(a), self.node_of(b))
     }
 
     fn path_loss(&self, a: HostId, b: HostId) -> f64 {
         let mut pass = 1.0;
         for e in self
-            .apsp
+            .routes()
             .path_edges(&self.graph, self.node_of(a), self.node_of(b))
         {
             pass *= 1.0 - self.graph.edge(e).attrs.loss;
@@ -194,7 +251,7 @@ impl Underlay for RoutedUnderlay {
 
     fn path_edges(&self, a: HostId, b: HostId) -> Option<Vec<EdgeId>> {
         Some(
-            self.apsp
+            self.routes()
                 .path_edges(&self.graph, self.node_of(a), self.node_of(b)),
         )
     }
@@ -431,6 +488,33 @@ mod tests {
         assert_eq!(u.hops(a, b), 3);
         assert!((u.path_loss(a, b) - 0.1).abs() < 1e-9);
         assert_eq!(u.path_loss(a, a), 0.0);
+    }
+
+    /// Same topology as [`small_routed`] but routed on demand: every
+    /// `Underlay` answer must match the dense oracle bitwise, with no
+    /// dense matrix ever built.
+    #[test]
+    fn on_demand_matches_dense_underlay() {
+        let dense = small_routed();
+        let od = RoutedUnderlay::on_demand(
+            Arc::new(dense.graph().clone()),
+            dense.host_nodes().to_vec(),
+            Some(2),
+            None,
+        );
+        assert!(od.apsp().is_none(), "on-demand must not materialize APSP");
+        assert!(dense.apsp().is_some());
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                let (a, b) = (HostId(a), HostId(b));
+                assert_eq!(od.rtt_ms(a, b).to_bits(), dense.rtt_ms(a, b).to_bits());
+                assert_eq!(od.path_edges(a, b), dense.path_edges(a, b));
+                assert_eq!(od.hops(a, b), dense.hops(a, b));
+                assert_eq!(od.path_loss(a, b), dense.path_loss(a, b));
+            }
+        }
+        let stats = od.router().unwrap().stats();
+        assert!(stats.misses >= 1 && stats.resident <= 2);
     }
 
     #[test]

@@ -70,10 +70,26 @@ impl TreeSnapshot {
     /// Children lists keyed by host index (source included).
     pub fn children(&self) -> Vec<Vec<HostId>> {
         let mut ch = vec![Vec::new(); self.parent.len()];
-        for (p, c) in self.edges() {
-            ch[p.idx()].push(c);
+        for &m in &self.members {
+            if let Some(p) = self.parent_of(m) {
+                ch[p.idx()].push(m);
+            }
         }
         ch
+    }
+
+    /// Child count per host index (source included). One flat `O(n)`
+    /// pass — unlike [`TreeSnapshot::children`], no per-host `Vec`s are
+    /// allocated, which keeps per-measurement invariant checks linear
+    /// at A9 scale (10k+ members).
+    pub fn child_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.parent.len()];
+        for &m in &self.members {
+            if let Some(p) = self.parent_of(m) {
+                counts[p.idx()] += 1;
+            }
+        }
+        counts
     }
 
     /// Hop depth of every connected member (source = 0); `None` for
@@ -159,9 +175,9 @@ impl TreeSnapshot {
             }
         }
         if !limits.is_empty() {
-            let children = self.children();
+            let counts = self.child_counts();
             for h in std::iter::once(self.source).chain(self.members.iter().copied()) {
-                let c = children[h.idx()].len();
+                let c = counts[h.idx()];
                 let lim = limits[h.idx()];
                 if c > lim as usize {
                     errors.push(TreeError::DegreeExceeded {
@@ -250,6 +266,18 @@ mod tests {
     fn valid_tree_passes() {
         let t = sample();
         assert!(t.validate(&[3, 2, 1, 1, 1]).is_empty());
+    }
+
+    #[test]
+    fn child_counts_match_children() {
+        let t = sample();
+        let lists = t.children();
+        let counts = t.child_counts();
+        assert_eq!(counts.len(), lists.len());
+        for (c, l) in counts.iter().zip(&lists) {
+            assert_eq!(*c, l.len());
+        }
+        assert_eq!(counts, vec![1, 2, 0, 0, 0]);
     }
 
     #[test]

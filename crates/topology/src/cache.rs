@@ -25,7 +25,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 /// Version salt mixed into every cache key. Bump when any cached
 /// generator (topology synthesis, APSP, latency-space extract) changes
 /// its output for identical parameters.
-pub const CODE_SALT: u64 = 0x7664_6d63_6163_6801; // "vdmcach" + version 1
+pub const CODE_SALT: u64 = 0x7664_6d63_6163_6802; // "vdmcach" + version 2 (APSP stores f64 distances)
 
 /// FNV-1a 64-bit hasher over typed fields; the order and type of `feed`
 /// calls is part of the key.
@@ -306,6 +306,13 @@ pub mod codec {
             }
         }
 
+        pub fn put_f64s(&mut self, vs: &[f64]) {
+            self.put_u64(vs.len() as u64);
+            for &v in vs {
+                self.put_f64(v);
+            }
+        }
+
         pub fn put_u32s(&mut self, vs: &[u32]) {
             self.put_u64(vs.len() as u64);
             for &v in vs {
@@ -373,6 +380,14 @@ pub mod codec {
                 return None; // length prefix beyond buffer: corrupt
             }
             (0..n).map(|_| self.get_f32()).collect()
+        }
+
+        pub fn get_f64s(&mut self) -> Option<Vec<f64>> {
+            let n = usize::try_from(self.get_u64()?).ok()?;
+            if n > self.remaining() / 8 {
+                return None; // length prefix beyond buffer: corrupt
+            }
+            (0..n).map(|_| self.get_f64()).collect()
         }
 
         pub fn get_u32s(&mut self) -> Option<Vec<u32>> {
@@ -569,6 +584,7 @@ mod tests {
         w.put_f32(1.5);
         w.put_f64(-2.25);
         w.put_f32s(&[1.0, 2.0]);
+        w.put_f64s(&[0.5, -0.25]);
         w.put_u32s(&[9, 8, 7]);
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
@@ -578,6 +594,7 @@ mod tests {
         assert_eq!(r.get_f32(), Some(1.5));
         assert_eq!(r.get_f64(), Some(-2.25));
         assert_eq!(r.get_f32s(), Some(vec![1.0, 2.0]));
+        assert_eq!(r.get_f64s(), Some(vec![0.5, -0.25]));
         assert_eq!(r.get_u32s(), Some(vec![9, 8, 7]));
         assert!(r.at_end());
         // Truncated buffer: reads fail cleanly.

@@ -137,7 +137,12 @@ impl Graph {
     }
 
     /// Graph with `n` isolated nodes of the given kind.
+    ///
+    /// # Panics
+    /// Panics when `n` exceeds the `u32` id space (see
+    /// [`Graph::add_node`]).
     pub fn with_nodes(n: usize, kind: NodeKind) -> Self {
+        u32::try_from(n).expect("graph node count exceeds u32 id space; split the underlay");
         Self {
             kinds: vec![kind; n],
             adj: vec![Vec::new(); n],
@@ -146,8 +151,16 @@ impl Graph {
     }
 
     /// Add a node and return its id.
+    ///
+    /// # Panics
+    /// Panics with a clear message when the node count would exceed the
+    /// `u32` id space (a silent `as u32` here would wrap and alias
+    /// existing nodes on oversized underlays).
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
-        let id = NodeId(self.kinds.len() as u32);
+        let id = NodeId(
+            u32::try_from(self.kinds.len())
+                .expect("graph node count exceeds u32 id space; split the underlay"),
+        );
         self.kinds.push(kind);
         self.adj.push(Vec::new());
         id
@@ -168,7 +181,10 @@ impl Graph {
         );
         assert!(attrs.delay_ms > 0.0, "link delay must be positive");
         assert!((0.0..1.0).contains(&attrs.loss), "loss must be in [0,1)");
-        let id = EdgeId(self.edges.len() as u32);
+        let id = EdgeId(
+            u32::try_from(self.edges.len())
+                .expect("graph edge count exceeds u32 id space; split the underlay"),
+        );
         self.edges.push(Edge { a, b, attrs });
         self.adj[a.idx()].push(Adj { to: b, edge: id });
         self.adj[b.idx()].push(Adj { to: a, edge: id });

@@ -15,6 +15,9 @@
 //!   latency) that back the emulated-PlanetLab substrate;
 //! * [`spath`] — Dijkstra single-source and all-pairs shortest paths with
 //!   next-hop tables (the simulator routes packets over these, as NS-2 does);
+//! * [`router`] — the [`RouteProvider`] abstraction over routing oracles,
+//!   plus the memory-bounded [`OnDemandRouter`] (LRU-cached per-source
+//!   rows) that scales past the dense matrix's `O(n^2)` ceiling;
 //! * [`mst`] — Prim minimum spanning trees over arbitrary metrics (the
 //!   paper's §5.4.6 MST-ratio comparison);
 //! * [`cache`] — a content-addressed on-disk artifact cache for the
@@ -28,11 +31,13 @@ pub mod geo;
 pub mod graph;
 pub mod mst;
 pub mod powerlaw;
+pub mod router;
 pub mod spath;
 pub mod transit_stub;
 pub mod waxman;
 
 pub use graph::{EdgeId, Graph, LinkAttrs, NodeId, NodeKind};
+pub use router::{OnDemandRouter, RouteProvider, RouteRow, RouterStats};
 pub use spath::{Apsp, ShortestPaths};
 
 /// Convenience alias: latency in milliseconds.

@@ -100,13 +100,20 @@ pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
 
 /// All-pairs shortest paths with next-hop routing tables.
 ///
-/// Memory is `O(n^2)` for distances (f32) plus `O(n^2)` for next hops
-/// (u32), which is fine at the paper's scales (≤ a few thousand routers).
+/// Memory is `O(n^2)` for distances (f64) plus `O(n^2)` for next hops
+/// (u32), which is fine at the paper's scales (≤ a few thousand
+/// routers); larger underlays use [`crate::router::OnDemandRouter`].
+///
+/// Distances are kept at full `f64` precision: an earlier revision
+/// downcast them to f32, which collapsed delays differing only below
+/// f32 resolution and made closest-child selection fall back to the
+/// node-id tie-break — an order-dependent artefact, not a topology
+/// property.
 #[derive(Clone, Debug)]
 pub struct Apsp {
     n: usize,
     /// Flattened `n x n` distance matrix in ms.
-    dist: Vec<f32>,
+    dist: Vec<Millis>,
     /// Flattened `n x n` next-hop matrix; `u32::MAX` when unreachable or
     /// on the diagonal.
     next: Vec<u32>,
@@ -116,13 +123,13 @@ impl Apsp {
     /// Run Dijkstra from every node of `g`.
     pub fn build(g: &Graph) -> Self {
         let n = g.num_nodes();
-        let mut dist = vec![f32::INFINITY; n * n];
+        let mut dist = vec![Millis::INFINITY; n * n];
         let mut next = vec![u32::MAX; n * n];
         for s in g.nodes() {
             let sp = dijkstra(g, s);
             let row = s.idx() * n;
+            dist[row..row + n].copy_from_slice(&sp.dist);
             for v in g.nodes() {
-                dist[row + v.idx()] = sp.dist[v.idx()] as f32;
                 if v != s && sp.dist[v.idx()].is_finite() {
                     // First hop from s toward v: walk prev[] back from v.
                     let mut cur = v;
@@ -147,9 +154,9 @@ impl Apsp {
     /// Serialize for the artifact cache (see [`crate::cache`]).
     pub fn to_bytes(&self) -> Vec<u8> {
         use crate::cache::codec::ByteWriter;
-        let mut w = ByteWriter::with_capacity(24 + self.dist.len() * 4 + self.next.len() * 4);
+        let mut w = ByteWriter::with_capacity(24 + self.dist.len() * 8 + self.next.len() * 4);
         w.put_u64(self.n as u64);
-        w.put_f32s(&self.dist);
+        w.put_f64s(&self.dist);
         w.put_u32s(&self.next);
         w.into_bytes()
     }
@@ -160,7 +167,7 @@ impl Apsp {
         use crate::cache::codec::ByteReader;
         let mut r = ByteReader::new(bytes);
         let n = usize::try_from(r.get_u64()?).ok()?;
-        let dist = r.get_f32s()?;
+        let dist = r.get_f64s()?;
         let next = r.get_u32s()?;
         if !r.at_end() || dist.len() != n.checked_mul(n)? || next.len() != dist.len() {
             return None;
@@ -168,10 +175,11 @@ impl Apsp {
         Some(Self { n, dist, next })
     }
 
-    /// Shortest one-way delay (ms) from `a` to `b`.
+    /// Shortest one-way delay (ms) from `a` to `b`, at full `f64`
+    /// precision (bit-identical to a fresh [`dijkstra`] run from `a`).
     #[inline]
     pub fn dist_ms(&self, a: NodeId, b: NodeId) -> Millis {
-        self.dist[a.idx() * self.n + b.idx()] as Millis
+        self.dist[a.idx() * self.n + b.idx()]
     }
 
     /// Next hop from `a` toward `b`; `None` if unreachable or `a == b`.
@@ -308,6 +316,39 @@ mod tests {
         assert!(apsp.dist_ms(NodeId(0), iso).is_infinite());
         assert!(apsp.next_hop(NodeId(0), iso).is_none());
         assert!(apsp.path_nodes(NodeId(0), iso).is_empty());
+    }
+
+    /// Regression: delays that differ only below f32 resolution must stay
+    /// distinguishable. An earlier `Apsp` stored f32 distances, which
+    /// collapsed such pairs to equal and let closest-child selection fall
+    /// through to the node-id tie-break (picking the *farther*,
+    /// smaller-id node here).
+    #[test]
+    fn sub_f32_delay_differences_survive() {
+        let mut g = Graph::with_nodes(3, NodeKind::Stub);
+        // Node 2 is genuinely closer to 0 than node 1, but only by 1e-5 ms
+        // at a 1000 ms base — below the ~6.1e-5 f32 spacing at 1000.
+        g.add_edge(NodeId(0), NodeId(1), LinkAttrs::delay(1000.0 + 1e-5));
+        g.add_edge(NodeId(0), NodeId(2), LinkAttrs::delay(1000.0));
+        let apsp = Apsp::build(&g);
+        let d1 = apsp.dist_ms(NodeId(0), NodeId(1));
+        let d2 = apsp.dist_ms(NodeId(0), NodeId(2));
+        // The pair is indistinguishable in f32...
+        assert_eq!(d1 as f32, d2 as f32, "test delays must straddle f32 ulp");
+        // ...but the stored f64 distances keep the true ordering, so a
+        // closest-child scan picks node 2 without needing the id tie-break.
+        assert!(d2 < d1, "expected {d2} < {d1}");
+        let closest = g
+            .nodes()
+            .filter(|&v| v != NodeId(0))
+            .min_by(|&a, &b| {
+                apsp.dist_ms(NodeId(0), a)
+                    .partial_cmp(&apsp.dist_ms(NodeId(0), b))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            })
+            .unwrap();
+        assert_eq!(closest, NodeId(2));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Golden-output equivalence across routing oracles: the same families
+//! must produce byte-identical CSVs whether their underlays route over
+//! the dense `Apsp` matrix (the historical oracle behind the committed
+//! A1–A8 CSVs) or the memory-bounded `OnDemandRouter`.
+//!
+//! Both oracles run the same Dijkstra with the same deterministic
+//! tie-breaks and derive first hops by the same predecessor walk, so
+//! distances and next hops are bit-identical by construction; these
+//! tests pin that end-to-end, through setup, the sync executor, the
+//! event-driven driver, and CSV rendering. Runs are sequential so the
+//! thread-local router override covers every cell.
+
+use vdm_experiments::figures::ablation;
+use vdm_experiments::runner::{with_mode, ExecMode};
+use vdm_experiments::setup::{with_router_choice, RouterChoice};
+use vdm_experiments::{Effort, Table};
+
+const SEEDS: [u64; 2] = [11, 42];
+
+fn assert_router_equivalent(name: &str, f: impl Fn(u64) -> Vec<Table>) {
+    for seed in SEEDS {
+        let dense = with_mode(ExecMode::Sequential, || {
+            with_router_choice(RouterChoice::Dense, || f(seed))
+        });
+        let on_demand = with_mode(ExecMode::Sequential, || {
+            with_router_choice(RouterChoice::OnDemand, || f(seed))
+        });
+        assert_eq!(
+            dense.len(),
+            on_demand.len(),
+            "{name} seed {seed}: table count"
+        );
+        for (a, b) in dense.iter().zip(&on_demand) {
+            assert!(!a.to_csv().is_empty(), "{name} produced an empty CSV");
+            assert_eq!(
+                a.to_csv(),
+                b.to_csv(),
+                "{name} seed {seed}: `{}` differs between dense and on-demand routing",
+                a.figure
+            );
+        }
+    }
+}
+
+/// A1 exercises the transit-stub underlay through the slack ablation.
+#[test]
+fn a1_slack_sweep_identical_under_on_demand_router() {
+    assert_router_equivalent("A1 slack", |s| ablation::slack_sweep(Effort::Quick, s));
+}
+
+/// A4 builds all three underlay families (transit-stub, Waxman,
+/// power-law), so one golden run covers every setup builder.
+#[test]
+fn a4_topology_sensitivity_identical_under_on_demand_router() {
+    assert_router_equivalent("A4 topology", |s| {
+        ablation::topology_sensitivity(Effort::Quick, s)
+    });
+}
+
+/// A2 reconnection drives the event-driven driver (leave/rejoin paths)
+/// over routed underlays.
+#[test]
+fn a2_reconnect_anchor_identical_under_on_demand_router() {
+    assert_router_equivalent("A2 anchor", |s| {
+        ablation::reconnect_anchor(Effort::Quick, s)
+    });
+}
