@@ -40,7 +40,7 @@ pub mod policy;
 
 pub use direction::{classify, classify_with_slack, Case};
 pub use metric::VirtualMetric;
-pub use policy::{VdmFactory, VdmPolicy};
+pub use policy::{perturb_vdist, VdmFactory, VdmPolicy};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -20,19 +20,51 @@ use vdm_overlay::peer::PeerState;
 use vdm_overlay::walk::{ProbeResult, WalkPolicy, WalkPurpose, WalkStep};
 use vdm_overlay::VDist;
 
+/// Deterministic per-tree jitter on a virtual distance (multi-tree
+/// sessions, A10): hash the distance's bits with the tree's seed
+/// (splitmix64 finalizer) into `h ∈ [-1, 1)` and scale by `1 + amp·h`.
+/// Every agent of a tree perturbs a given distance identically (the
+/// walk stays coherent), different trees rank candidate parents
+/// differently (their interiors decorrelate), and per-session
+/// determinism is preserved. Zero stays zero and the sign never flips.
+pub fn perturb_vdist(d: VDist, tree_seed: u64, amp: f64) -> VDist {
+    let mut z = d.to_bits() ^ tree_seed;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let h = (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0; // [-1, 1)
+    d * (1.0 + amp * h)
+}
+
 /// The VDM protocol policy.
 #[derive(Clone, Copy, Debug)]
 pub struct VdmPolicy {
     metric: VirtualMetric,
     /// Directionality slack (0 = the paper's strict classifier).
     slack: f64,
+    /// Per-tree `(seed, amplitude)` distance jitter (multi-tree
+    /// sessions); `None` = the paper's unperturbed metric.
+    perturb: Option<(u64, f64)>,
 }
 
 impl VdmPolicy {
     /// VDM with an explicit metric and slack.
     pub fn new(metric: VirtualMetric, slack: f64) -> Self {
         assert!(slack >= 0.0);
-        Self { metric, slack }
+        Self {
+            metric,
+            slack,
+            perturb: None,
+        }
+    }
+
+    /// Jitter every virtual distance by up to `±amp` (relative),
+    /// keyed on `tree_seed` — see [`perturb_vdist`].
+    pub fn with_perturbation(mut self, tree_seed: u64, amp: f64) -> Self {
+        assert!((0.0..1.0).contains(&amp));
+        self.perturb = Some((tree_seed, amp));
+        self
     }
 
     /// VDM-D (the paper's default): RTT virtual distances.
@@ -53,7 +85,11 @@ impl VdmPolicy {
 
 impl WalkPolicy for VdmPolicy {
     fn vdist(&self, rtt_ms: f64, loss_est: f64) -> VDist {
-        self.metric.vdist(rtt_ms, loss_est)
+        let d = self.metric.vdist(rtt_ms, loss_est);
+        match self.perturb {
+            Some((seed, amp)) => perturb_vdist(d, seed, amp),
+            None => d,
+        }
     }
 
     fn needs_loss(&self) -> bool {
@@ -130,6 +166,9 @@ pub struct VdmFactory {
     pub metric: VirtualMetric,
     /// Directionality slack.
     pub slack: f64,
+    /// Per-tree distance jitter for multi-tree sessions (see
+    /// [`VdmPolicy::with_perturbation`]); `None` = plain VDM.
+    pub perturb: Option<(u64, f64)>,
 }
 
 impl VdmFactory {
@@ -139,6 +178,7 @@ impl VdmFactory {
             agent: AgentConfig::default(),
             metric: VirtualMetric::Delay,
             slack: 0.0,
+            perturb: None,
         }
     }
 
@@ -148,7 +188,22 @@ impl VdmFactory {
             agent: AgentConfig::default(),
             metric: VirtualMetric::loss(),
             slack: 0.0,
+            perturb: None,
         }
+    }
+
+    /// This factory serving tree `tree` of a `session_seed`-keyed
+    /// multi-tree session: tree 0 keeps the unperturbed metric (the
+    /// backbone tree is exactly the single-tree overlay), sibling trees
+    /// jitter distances by up to `±amp` under distinct seeds so their
+    /// interiors decorrelate.
+    pub fn for_tree(mut self, tree: usize, session_seed: u64, amp: f64) -> Self {
+        self.perturb = if tree == 0 {
+            None
+        } else {
+            Some((session_seed ^ ((tree as u64) << 48) ^ 0x6d74_7265, amp))
+        };
+        self
     }
 
     /// VDM-R: VDM-D plus periodic refinement (period in seconds;
@@ -170,14 +225,11 @@ impl AgentFactory for VdmFactory {
         degree_limit: u32,
         incarnation: u32,
     ) -> Self::Agent {
-        ProtocolAgent::new(
-            host,
-            source,
-            degree_limit,
-            incarnation,
-            self.agent,
-            VdmPolicy::new(self.metric, self.slack),
-        )
+        let mut policy = VdmPolicy::new(self.metric, self.slack);
+        if let Some((seed, amp)) = self.perturb {
+            policy = policy.with_perturbation(seed, amp);
+        }
+        ProtocolAgent::new(host, source, degree_limit, incarnation, self.agent, policy)
     }
 }
 

@@ -36,6 +36,12 @@
 //! and writes `BENCH_scale.json` (per-N wall-clock, walk contacts vs
 //! the n·log N prediction, resident-row peak). `--smoke` runs tiny
 //! sizes sequentially for CI gating.
+//!
+//! `multitree` (A10) is likewise separate: it stripes the stream over
+//! k ∈ {1..4} decorrelated trees, crashes interior nodes and replays
+//! the A7 combined fault cocktail, and writes `BENCH_multitree.json`.
+//! The run fails if the k = 1 session is not byte-identical to the
+//! single-tree driver; `--smoke` runs a tiny grid sequentially for CI.
 //! ```
 //!
 //! Runs fan their simulation cells across a thread pool
@@ -67,7 +73,7 @@ use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vdm_experiments::figures::{
-    ablation, chaos, compare, complexity, fig3, fig4, fig5, scale, soak,
+    ablation, chaos, compare, complexity, fig3, fig4, fig5, multitree, scale, soak,
 };
 use vdm_experiments::{runner, setup, Effort, Table};
 use vdm_topology::cache;
@@ -265,6 +271,40 @@ fn run_scale(opts: &Opts, smoke: bool) -> io::Result<()> {
     std::fs::write(&path, &json).map_err(io_ctx(format!("writing scale report `{path}`")))?;
     println!("  [json] {path}");
     println!("[done scale in {:.1?}]", t0.elapsed());
+    Ok(())
+}
+
+/// `vdm-repro multitree` (A10): stripe the stream over `k` decorrelated
+/// trees, crash interiors and run the combined fault cocktail, emit
+/// `BENCH_multitree.json`. Fails when the `k = 1` session diverges from
+/// the single-tree driver.
+fn run_multitree(opts: &Opts, smoke: bool) -> io::Result<()> {
+    if smoke {
+        // Tiny and sequential: the CI gate checks that the report is
+        // produced, parses, and that k = 1 stayed byte-identical.
+        std::env::set_var("VDM_SEQUENTIAL", "1");
+    }
+    let seed = opts.seed;
+    let t0 = Instant::now();
+    let report = if smoke {
+        multitree::multitree_family_smoke(seed)
+    } else {
+        multitree::multitree_family(opts.effort, seed)
+    };
+    emit(&report.tables, opts)?;
+    let json = report.to_json(smoke, seed);
+    let dir = opts.csv_dir.clone().unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&dir)
+        .map_err(io_ctx(format!("creating multitree directory `{dir}`")))?;
+    let path = format!("{dir}/BENCH_multitree.json");
+    std::fs::write(&path, &json).map_err(io_ctx(format!("writing multitree report `{path}`")))?;
+    println!("  [json] {path}");
+    println!("[done multitree in {:.1?}]", t0.elapsed());
+    if !report.k1_identical {
+        return Err(io::Error::other(
+            "k=1 multitree session diverged from the single-tree driver — delegation broken",
+        ));
+    }
     Ok(())
 }
 
@@ -703,8 +743,8 @@ fn main() {
         }
         return;
     }
-    if smoke && family != "scale" {
-        eprintln!("error: --smoke only applies to `bench` and `scale`");
+    if smoke && family != "scale" && family != "multitree" {
+        eprintln!("error: --smoke only applies to `bench`, `scale` and `multitree`");
         std::process::exit(2);
     }
     // The chaos and soak families always leave a CSV audit trail (their
@@ -723,6 +763,13 @@ fn main() {
         // A9 sizes its own underlays; small ones persist routing rows
         // through the cache installed above, large ones stay in-memory.
         if let Err(e) = run_scale(&opts, smoke) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if family == "multitree" {
+        if let Err(e) = run_multitree(&opts, smoke) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
@@ -756,6 +803,7 @@ fn print_usage() {
          \x20                  [--cache DIR|--no-cache] [--sequential]\n\
          \x20      vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro scale [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
+         \x20      vdm-repro multitree [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]\n\
          \x20                  [--csv DIR] [--cache DIR|--no-cache]\n\
          \x20      vdm-repro trace filter|summarize|dump --input FILE\n\

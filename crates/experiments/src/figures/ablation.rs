@@ -15,7 +15,7 @@ use crate::extract::run_metrics;
 use crate::figures::{column, replicate};
 use crate::table::Table;
 use crate::Effort;
-use vdm_core::{VdmFactory, VirtualMetric};
+use vdm_core::VdmFactory;
 use vdm_planetlab::{SessionConfig, SessionRunner};
 
 fn base_cfg(effort: Effort) -> SessionConfig {
@@ -47,9 +47,8 @@ pub fn slack_sweep(effort: Effort, seed: u64) -> Vec<Table> {
             |s| {
                 let runner = SessionRunner::prepare(&cfg, s);
                 let factory = VdmFactory {
-                    agent: Default::default(),
-                    metric: VirtualMetric::Delay,
                     slack,
+                    ..VdmFactory::delay_based()
                 };
                 run_metrics(&runner.run(factory, s), 2)
             },

@@ -8,6 +8,7 @@ pub mod complexity;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod multitree;
 pub mod scale;
 pub mod soak;
 

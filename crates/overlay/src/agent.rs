@@ -150,6 +150,13 @@ pub struct AgentConfig {
     /// NACK-based stream gap repair; `None` keeps the fire-and-forget
     /// data plane.
     pub repair: Option<RepairConfig>,
+    /// Cross-tree repair serving budget (multi-tree extension): a
+    /// token bucket over [`Msg::CrossNack`] retransmissions, reusing
+    /// the admission-control shape so sibling-tree pulls cannot starve
+    /// a parent's own subtree. `None` disables serving (and, with it,
+    /// the whole cross-tree path in single-tree runs). Requires
+    /// `repair` to be set as well.
+    pub cross_repair: Option<AdmissionConfig>,
 }
 
 impl Default for AgentConfig {
@@ -167,6 +174,7 @@ impl Default for AgentConfig {
             resilience: None,
             admission: None,
             repair: None,
+            cross_repair: None,
         }
     }
 }
@@ -353,10 +361,20 @@ pub struct ProtocolAgent<P: WalkPolicy> {
     ring: RetransmitRing,
     /// Chunks we are missing ourselves (gap repair).
     gaps: GapTracker,
+    /// Silent stripe holes pulled from a sibling tree (multi-tree cross
+    /// repair). Kept apart from `gaps` so the regular repair timer never
+    /// burns NACK retries on a dead or starving parent for holes only a
+    /// sibling tree can fill.
+    cross_gaps: GapTracker,
     /// Whether a [`REPAIR_TOKEN`] timer is in flight.
     repair_armed: bool,
-    /// `gaps.lost` already pushed into the shared run stats.
+    /// `gaps.lost + cross_gaps.lost` already pushed into the shared run
+    /// stats.
     lost_reported: u64,
+    /// Cross-tree serving bucket: current tokens and last refill time
+    /// (multi-tree extension; inert without `cfg.cross_repair`).
+    cross_tokens: f64,
+    cross_refilled_at: SimTime,
 }
 
 impl<P: WalkPolicy> ProtocolAgent<P> {
@@ -395,8 +413,11 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             admit_armed: false,
             ring: RetransmitRing::new(cfg.repair.map_or(1, |r| r.ring)),
             gaps: GapTracker::default(),
+            cross_gaps: GapTracker::default(),
             repair_armed: false,
             lost_reported: 0,
+            cross_tokens: cfg.cross_repair.map_or(0.0, |a| a.burst),
+            cross_refilled_at: SimTime::ZERO,
         }
     }
 
@@ -805,10 +826,11 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
 
     /// Push newly declared-lost chunks into the shared run stats.
     fn sync_lost(&mut self, ctx: &mut Ctx<'_>) {
-        let d = self.gaps.lost - self.lost_reported;
+        let total = self.gaps.lost + self.cross_gaps.lost;
+        let d = total - self.lost_reported;
         if d > 0 {
             ctx.stats.recovery.chunks_lost += d;
-            self.lost_reported = self.gaps.lost;
+            self.lost_reported = total;
         }
     }
 
@@ -852,6 +874,57 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
     /// Peer state (for tests and diagnostics).
     pub fn state(&self) -> &PeerState {
         &self.state
+    }
+
+    /// Whether this incarnation ever attached to the tree (drivers use
+    /// it to tell a mid-join newcomer from a cut-off subtree).
+    /// Arrival time of the most recent stream chunk ([`SimTime::ZERO`]
+    /// before the first); multi-tree sessions read this to detect a
+    /// starving stripe.
+    pub fn last_data_at(&self) -> SimTime {
+        self.last_data_at
+    }
+
+    pub fn ever_connected(&self) -> bool {
+        self.ever_connected
+    }
+
+    /// Gap-repair bookkeeping (for tests and diagnostics).
+    pub fn gaps(&self) -> &GapTracker {
+        &self.gaps
+    }
+
+    /// Cross-tree gap bookkeeping (for tests and diagnostics).
+    pub fn cross_gaps(&self) -> &GapTracker {
+        &self.cross_gaps
+    }
+
+    /// Multi-tree cross repair, driven by the session layer: while this
+    /// peer is cut off from its stripe tree, the driver points it at a
+    /// connected parent of the *sibling* tree that owns the stripe
+    /// (`sibling`) and tells it how far the stripe has advanced
+    /// (`latest`). Silent holes are registered (an orphaned subtree
+    /// sees no watermark jump — without this, its gaps are invisible),
+    /// then due NACKs go to the sibling instead of the missing parent.
+    /// No-op unless both repair and cross-repair are configured.
+    pub fn cross_repair_tick(&mut self, ctx: &mut Ctx<'_>, sibling: HostId, latest: u64) {
+        let Some(rc) = self.cfg.repair else { return };
+        if self.cfg.cross_repair.is_none() || !self.ever_connected || self.state.is_source {
+            return;
+        }
+        self.cross_gaps
+            .note_absent(latest, self.state.last_seq, ctx.now(), &rc);
+        let batch = self.cross_gaps.due_nacks(ctx.now(), &rc);
+        self.sync_lost(ctx);
+        if !batch.is_empty() {
+            ctx.stats.recovery.cross_nacks_sent += 1;
+            ctx.trace(|| vdm_trace::TraceEvent::NackSent {
+                host: ctx.me.0,
+                parent: sibling.0,
+                count: batch.len() as u32,
+            });
+            ctx.send(sibling, Msg::CrossNack { seqs: batch });
+        }
     }
 
     /// The protocol policy.
@@ -1248,6 +1321,7 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
         self.failover = None;
         self.ring.clear();
         self.gaps.clear();
+        self.cross_gaps.clear();
     }
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg) {
@@ -1393,6 +1467,9 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                     return;
                 }
                 if let Some(rc) = self.cfg.repair {
+                    // A chunk a cross-tree NACK is chasing may race in
+                    // through the recovered tree; stop re-asking.
+                    self.cross_gaps.resolve(seq);
                     match self.gaps.on_chunk(seq, self.state.last_seq, ctx.now(), &rc) {
                         ChunkClass::Fresh => {
                             self.state.last_seq = Some(seq);
@@ -1412,6 +1489,79 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                     }
                 } else if self.state.accept_seq(seq) {
                     self.deliver_chunk(ctx, seq, true);
+                }
+            }
+            Msg::CrossNack { seqs } => {
+                // Serve a sibling-tree orphan out of our ring, bounded
+                // by the cross-repair token bucket so these pulls can
+                // never starve our own subtree's repair traffic.
+                let Some(a) = self.cfg.cross_repair else {
+                    return;
+                };
+                if self.cfg.repair.is_none() || !self.state.connected() {
+                    return;
+                }
+                let now = ctx.now();
+                let dt = now.saturating_sub(self.cross_refilled_at).as_secs();
+                self.cross_tokens = (self.cross_tokens + dt * a.rate_per_s).min(a.burst);
+                self.cross_refilled_at = now;
+                for seq in seqs {
+                    if self.cross_tokens < 1.0 {
+                        break;
+                    }
+                    if self.ring.contains(seq) {
+                        self.cross_tokens -= 1.0;
+                        ctx.send(from, Msg::CrossData { seq });
+                    }
+                }
+            }
+            Msg::CrossData { seq } => {
+                let Some(rc) = self.cfg.repair else { return };
+                if self.cfg.cross_repair.is_none() {
+                    return;
+                }
+                // Stripe-ownership invariant: a cross retransmission
+                // must carry a chunk of *our* stripe — anything else
+                // means repair asked a tree that does not own the
+                // sequence. Counted (and dropped) so tests can assert
+                // it never happens.
+                if rc.stride > 1 && seq % rc.stride != rc.stripe {
+                    ctx.stats.recovery.cross_stripe_violations += 1;
+                    return;
+                }
+                let was_pending = self.cross_gaps.resolve(seq);
+                match self.gaps.on_chunk(seq, self.state.last_seq, ctx.now(), &rc) {
+                    ChunkClass::Fresh => {
+                        self.state.last_seq = Some(seq);
+                        ctx.stats.recovery.cross_repaired += 1;
+                        ctx.trace(|| vdm_trace::TraceEvent::ChunkRepaired {
+                            host: ctx.me.0,
+                            seq,
+                        });
+                        self.deliver_chunk(ctx, seq, true);
+                        self.sync_lost(ctx);
+                        self.arm_repair_timer(ctx);
+                    }
+                    ChunkClass::Repaired => {
+                        ctx.stats.recovery.cross_repaired += 1;
+                        ctx.trace(|| vdm_trace::TraceEvent::ChunkRepaired {
+                            host: ctx.me.0,
+                            seq,
+                        });
+                        self.deliver_chunk(ctx, seq, false);
+                    }
+                    // The watermark advanced past this hole while its
+                    // cross NACK was in flight (retransmissions landing
+                    // out of order); it is still a first delivery.
+                    ChunkClass::Duplicate if was_pending => {
+                        ctx.stats.recovery.cross_repaired += 1;
+                        ctx.trace(|| vdm_trace::TraceEvent::ChunkRepaired {
+                            host: ctx.me.0,
+                            seq,
+                        });
+                        self.deliver_chunk(ctx, seq, false);
+                    }
+                    ChunkClass::Duplicate => {}
                 }
             }
         }
@@ -1494,6 +1644,12 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
             REPAIR_TOKEN => {
                 if let Some(rc) = self.cfg.repair {
                     self.repair_armed = false;
+                    if self.state.parent.is_none() && self.cfg.cross_repair.is_some() {
+                        // Orphaned in a multi-tree session: leave the
+                        // due state to the cross-repair ticks instead
+                        // of burning NACK retries on a missing parent.
+                        return;
+                    }
                     let batch = self.gaps.due_nacks(ctx.now(), &rc);
                     self.sync_lost(ctx);
                     if !batch.is_empty() {
@@ -2379,6 +2535,125 @@ mod tests {
         // NACKs from non-children are ignored.
         inject(&mut eng, &mut w, HostId(6), Msg::Nack { seqs: vec![2] });
         assert!(take_to(&mut w, HostId(6)).is_empty());
+    }
+
+    /// A sibling-tree orphan's CrossNack is served out of the ring,
+    /// bounded by the cross-repair token bucket; peers without the
+    /// budget ignore the message entirely.
+    #[test]
+    fn cross_nack_is_served_within_token_budget() {
+        let cfg = AgentConfig {
+            repair: Some(RepairConfig::default()),
+            cross_repair: Some(AdmissionConfig {
+                rate_per_s: 1.0,
+                burst: 2.0,
+                queue: 0,
+                max_wait: SimTime::from_secs(1),
+            }),
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        w.agent.state.parent = Some(HostId(1));
+        for seq in 1..=4 {
+            inject(&mut eng, &mut w, HostId(1), Msg::Data { seq });
+        }
+        // Host 6 is NOT our child — cross pulls are not child-gated.
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(6),
+            Msg::CrossNack {
+                seqs: vec![1, 2, 3],
+            },
+        );
+        // Burst 2 (plus ~0.9 s of refill at 1/s): exactly two served.
+        let served: Vec<Msg> = take_to(&mut w, HostId(6))
+            .into_iter()
+            .filter(|m| matches!(m, Msg::CrossData { .. }))
+            .collect();
+        assert_eq!(
+            served,
+            vec![Msg::CrossData { seq: 1 }, Msg::CrossData { seq: 2 }]
+        );
+    }
+
+    /// The orphan side: a cross-repair tick registers the silent
+    /// stripe holes and NACKs them at the sibling parent; the answered
+    /// chunk is delivered and cascades to our own children, and an
+    /// off-stripe retransmission is dropped and counted.
+    #[test]
+    fn cross_repair_tick_pulls_stripe_from_sibling_and_cascades() {
+        let rc = RepairConfig::default().striped(2, 1);
+        let cfg = AgentConfig {
+            repair: Some(rc),
+            cross_repair: Some(AdmissionConfig::default()),
+            ..AgentConfig::default()
+        };
+        let (mut eng, mut w) = harness(cfg, false);
+        w.agent.state.add_child(HostId(3), 4.0);
+        w.agent.ever_connected = true; // orphaned, not a newcomer
+        let mut stats = RunStats::new(8);
+        w.agent.cross_repair_tick(
+            &mut Ctx {
+                me: HostId(0),
+                eng: &mut eng,
+                stats: &mut stats,
+                loss_probe_noise: 0.0,
+            },
+            HostId(5),
+            5,
+        );
+        // Holes registered (in the cross tracker, so the regular repair
+        // timer cannot burn their retries), but the NACK delay has not
+        // elapsed.
+        assert!(take_to(&mut w, HostId(5)).is_empty());
+        assert_eq!(w.agent.cross_gaps().pending(), 3);
+        assert_eq!(w.agent.gaps().pending(), 0);
+        // An inert timer carries the clock past the NACK delay (the
+        // engine clock only moves when events are processed).
+        let until = eng.now() + SimTime::from_ms(400.0);
+        eng.set_timer(HostId(0), SimTime::from_ms(400.0), 0);
+        eng.run(&mut w, until);
+        w.agent.cross_repair_tick(
+            &mut Ctx {
+                me: HostId(0),
+                eng: &mut eng,
+                stats: &mut stats,
+                loss_probe_noise: 0.0,
+            },
+            HostId(5),
+            5,
+        );
+        // Let the engine deliver the in-flight NACK to the sibling.
+        let until = eng.now() + SimTime::from_ms(100.0);
+        eng.run(&mut w, until);
+        assert_eq!(
+            take_to(&mut w, HostId(5)),
+            vec![Msg::CrossNack {
+                seqs: vec![1, 3, 5]
+            }]
+        );
+        assert_eq!(stats.recovery.cross_nacks_sent, 1);
+        // The sibling answers chunk 3: delivered fresh (first delivery
+        // of this stripe) and forwarded to our child.
+        inject(&mut eng, &mut w, HostId(5), Msg::CrossData { seq: 3 });
+        assert_eq!(w.agent.state.last_seq, Some(3));
+        assert_eq!(take_to(&mut w, HostId(3)), vec![Msg::Data { seq: 3 }]);
+        // An off-stripe chunk (seq 2 is stripe 0) violates ownership:
+        // dropped, counted, watermark untouched.
+        let mut stats2 = RunStats::new(8);
+        w.agent.on_msg(
+            &mut Ctx {
+                me: HostId(0),
+                eng: &mut eng,
+                stats: &mut stats2,
+                loss_probe_noise: 0.0,
+            },
+            HostId(5),
+            Msg::CrossData { seq: 2 },
+        );
+        assert_eq!(stats2.recovery.cross_stripe_violations, 1);
+        assert_eq!(w.agent.state.last_seq, Some(3));
     }
 
     #[test]

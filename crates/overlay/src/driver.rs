@@ -356,6 +356,18 @@ impl<F: AgentFactory> Driver<F> {
         self.eng.run(&mut self.world, t);
     }
 
+    /// Ungracefully remove a member right now, exactly like a scheduled
+    /// [`Action::Crash`]: the agent vanishes with no notifications.
+    /// Lets callers crash a node chosen from *runtime* tree state (e.g.
+    /// the currently-largest interior node) between [`Driver::run_until`]
+    /// steps, which a precomputed scenario cannot express.
+    pub fn crash_now(&mut self, h: HostId) {
+        if h != self.world.source && self.world.in_session[h.idx()] {
+            self.world.agents[h.idx()] = None;
+            self.world.in_session[h.idx()] = false;
+        }
+    }
+
     /// Current tree.
     pub fn snapshot(&self) -> TreeSnapshot {
         self.world.snapshot()

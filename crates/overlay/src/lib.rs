@@ -27,12 +27,15 @@
 //! * [`driver`] — the discrete-event [`netsim`](vdm_netsim) world that
 //!   executes a scenario against a set of agents and collects
 //!   measurements;
+//! * [`multitree`] — striped delivery over `k` decorrelated trees with
+//!   cross-tree repair (ablation A10);
 //! * [`stats`] — run statistics and measurement records.
 
 pub mod agent;
 pub mod driver;
 pub mod metrics;
 pub mod msg;
+pub mod multitree;
 pub mod peer;
 pub mod repair;
 pub mod scenario;
@@ -45,6 +48,10 @@ pub use agent::{AdmissionConfig, AgentConfig, Ctx, OverlayAgent, ProtocolAgent, 
 pub use driver::{Driver, DriverConfig, RunOutput};
 pub use metrics::TreeMetrics;
 pub use msg::Msg;
+pub use multitree::{
+    expand_faults, interior_overlap, interior_victim, striped_limits, CrossRepairAgent, MtSlot,
+    MultiTreeConfig, MultiTreeOutput, MultiTreeSession, StripedUnderlay,
+};
 pub use repair::{GapTracker, RepairConfig, RetransmitRing};
 pub use scenario::{Action, Scenario};
 pub use stats::{RunStats, SlotMeasurement, Summary};

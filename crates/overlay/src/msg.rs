@@ -167,13 +167,28 @@ pub enum Msg {
         /// source.
         seq: u64,
     },
+    /// Cross-tree NACK (multi-tree extension): a receiver cut off from
+    /// one stripe tree asks a parent of the *sibling* tree that owns
+    /// the stripe to retransmit the listed chunks out of its ring.
+    CrossNack {
+        /// Missing chunk sequence numbers, ascending; every one must
+        /// satisfy the receiver's stripe residue.
+        seqs: Vec<u64>,
+    },
+    /// Retransmission answering a [`Msg::CrossNack`] (token-bucket
+    /// bounded at the server). Distinct from [`Msg::Data`] so the
+    /// receiver does not mistake a sibling-tree server for its parent.
+    CrossData {
+        /// Retransmitted chunk sequence number.
+        seq: u64,
+    },
 }
 
 impl Msg {
     /// True for stream payload, false for maintenance traffic (the
     /// paper's overhead metric, Eq. 3.6, is the ratio of the two).
     pub fn is_data(&self) -> bool {
-        matches!(self, Msg::Data { .. })
+        matches!(self, Msg::Data { .. } | Msg::CrossData { .. })
     }
 }
 
@@ -184,6 +199,8 @@ mod tests {
     #[test]
     fn data_classification() {
         assert!(Msg::Data { seq: 0 }.is_data());
+        assert!(Msg::CrossData { seq: 0 }.is_data());
+        assert!(!Msg::CrossNack { seqs: vec![1] }.is_data());
         assert!(!Msg::Ping { nonce: 1 }.is_data());
         assert!(!Msg::Leave.is_data());
         assert!(!Msg::ConnReq {

@@ -39,6 +39,14 @@ pub struct RepairConfig {
     pub nack_period: SimTime,
     /// NACK attempts per missing chunk before giving up.
     pub nack_retries: u32,
+    /// Stride of the sequence numbers this receiver expects (multi-tree
+    /// striping: tree `t` of `k` carries only `seq % k == t`). `1` is
+    /// the plain single-tree stream and keeps every computation
+    /// identical to the pre-stripe code.
+    pub stride: u64,
+    /// Residue of this receiver's stripe (`seq % stride == stripe`).
+    /// Ignored when `stride <= 1`.
+    pub stripe: u64,
 }
 
 impl Default for RepairConfig {
@@ -49,6 +57,20 @@ impl Default for RepairConfig {
             nack_delay: SimTime::from_ms(250.0),
             nack_period: SimTime::from_secs(1),
             nack_retries: 3,
+            stride: 1,
+            stripe: 0,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// This config restriped for tree `stripe` of `stride` (multi-tree
+    /// sessions; `window` and retry budgets still count chunks).
+    pub fn striped(self, stride: u64, stripe: u64) -> Self {
+        Self {
+            stride: stride.max(1),
+            stripe: if stride > 1 { stripe % stride } else { 0 },
+            ..self
         }
     }
 }
@@ -155,23 +177,46 @@ impl GapTracker {
         cfg: &RepairConfig,
     ) -> ChunkClass {
         match last_seq {
-            None => ChunkClass::Fresh,
+            None => {
+                // A chunk pre-registered by `note_absent` arriving as
+                // the very first delivery is no longer missing.
+                self.missing.retain(|m| m.seq != seq);
+                ChunkClass::Fresh
+            }
             Some(last) if seq > last => {
                 // Sequences we jumped over become repair candidates,
                 // newest-window only: after a long outage everything
-                // older than `window` is lost outright.
-                let first_wanted = seq.saturating_sub(cfg.window).max(last + 1);
-                self.lost = self.lost.saturating_add(first_wanted - (last + 1));
-                for s in first_wanted..seq {
-                    self.missing.push(Missing {
-                        seq: s,
-                        nacks: 0,
-                        due_at: now + cfg.nack_delay,
-                    });
+                // older than `window` chunks is lost outright. All
+                // arithmetic walks the stripe grid `last + j*stride`
+                // (stride 1 == the plain stream, byte-identical to the
+                // pre-stripe code).
+                let stride = cfg.stride.max(1);
+                let span = cfg.window.saturating_mul(stride);
+                let first_unseen = last.saturating_add(stride).min(seq);
+                let first_wanted = seq.saturating_sub(span).max(first_unseen);
+                self.lost = self
+                    .lost
+                    .saturating_add((first_wanted - first_unseen) / stride);
+                let mut s = first_wanted;
+                while s < seq {
+                    if !self.missing.iter().any(|m| m.seq == s) {
+                        self.missing.push(Missing {
+                            seq: s,
+                            nacks: 0,
+                            due_at: now + cfg.nack_delay,
+                        });
+                    }
+                    s = match s.checked_add(stride) {
+                        Some(n) => n,
+                        None => break,
+                    };
                 }
+                // `note_absent` may have registered this chunk (or ones
+                // above it) before it arrived through the tree.
+                self.missing.retain(|m| m.seq != seq);
                 // The window also bounds the backlog as the watermark
                 // advances past older holes.
-                self.expire_below(seq.saturating_sub(cfg.window));
+                self.expire_below(seq.saturating_sub(span));
                 ChunkClass::Fresh
             }
             Some(_) => {
@@ -184,6 +229,62 @@ impl GapTracker {
                 }
             }
         }
+    }
+
+    /// Register stripe chunks up to and including `latest` as missing
+    /// without a triggering arrival (multi-tree cross repair: an
+    /// orphaned subtree receives *nothing*, so the watermark jump that
+    /// normally reveals gaps never happens — the driver tells the
+    /// receiver how far its stripe has advanced instead). Walks the
+    /// stripe grid downward from `latest`, window-bounded, stopping at
+    /// the watermark; already-known holes are left untouched. Returns
+    /// how many new holes were registered.
+    pub fn note_absent(
+        &mut self,
+        latest: u64,
+        last_seq: Option<u64>,
+        now: SimTime,
+        cfg: &RepairConfig,
+    ) -> usize {
+        let stride = cfg.stride.max(1);
+        let floor = match last_seq {
+            Some(last) => {
+                if latest <= last {
+                    return 0;
+                }
+                last.saturating_add(stride)
+            }
+            None => cfg.stripe,
+        };
+        let mut added = 0;
+        let mut s = latest;
+        for _ in 0..cfg.window.max(1) {
+            if s < floor {
+                break;
+            }
+            if !self.missing.iter().any(|m| m.seq == s) {
+                self.missing.push(Missing {
+                    seq: s,
+                    nacks: 0,
+                    due_at: now + cfg.nack_delay,
+                });
+                added += 1;
+            }
+            s = match s.checked_sub(stride) {
+                Some(n) => n,
+                None => break,
+            };
+        }
+        added
+    }
+
+    /// Drop the pending entry for `seq` — it arrived through another
+    /// path (e.g. the regular tree while a cross-tree NACK was
+    /// outstanding, or vice versa). Returns whether it was pending.
+    pub fn resolve(&mut self, seq: u64) -> bool {
+        let before = self.missing.len();
+        self.missing.retain(|m| m.seq != seq);
+        self.missing.len() != before
     }
 
     fn expire_below(&mut self, floor: u64) {
@@ -405,6 +506,66 @@ mod tests {
         let far = t_due + c.nack_period + c.nack_period + c.nack_period + c.nack_period;
         g.due_nacks(far, &c);
         assert_eq!(g.lost, u64::MAX);
+    }
+
+    #[test]
+    fn strided_gap_detection_stays_on_the_stripe_grid() {
+        let mut g = GapTracker::default();
+        let c = cfg().striped(3, 1); // this stripe carries 1, 4, 7, 10, ...
+        let t = SimTime::from_secs(1);
+        assert_eq!(g.on_chunk(1, None, t, &c), ChunkClass::Fresh);
+        // 4 and 7 skipped — only grid points become repair candidates.
+        assert_eq!(g.on_chunk(10, Some(1), t, &c), ChunkClass::Fresh);
+        assert_eq!(g.pending(), 2);
+        assert_eq!(g.on_chunk(4, Some(10), t, &c), ChunkClass::Repaired);
+        assert_eq!(g.on_chunk(4, Some(10), t, &c), ChunkClass::Duplicate);
+        assert_eq!(g.lost, 0);
+    }
+
+    #[test]
+    fn strided_window_counts_chunks_not_raw_sequence_span() {
+        let mut g = GapTracker::default();
+        let c = RepairConfig { window: 2, ..cfg() }.striped(3, 1);
+        let t = SimTime::from_secs(1);
+        // Watermark 1, next arrival 31: nine grid chunks were skipped,
+        // the window keeps the newest two (25, 28), the rest are lost.
+        assert_eq!(g.on_chunk(31, Some(1), t, &c), ChunkClass::Fresh);
+        assert_eq!(g.pending(), 2);
+        assert_eq!(g.lost, 7);
+        assert_eq!(g.on_chunk(28, Some(31), t, &c), ChunkClass::Repaired);
+    }
+
+    #[test]
+    fn note_absent_registers_silent_stripe_holes() {
+        let mut g = GapTracker::default();
+        let c = RepairConfig { window: 4, ..cfg() }.striped(2, 0);
+        let t = SimTime::from_secs(1);
+        // Watermark 4; the stripe advanced to 12 while we heard nothing.
+        assert_eq!(g.note_absent(12, Some(4), t, &c), 4);
+        assert_eq!(g.pending(), 4);
+        // Idempotent; a stale notice is a no-op too.
+        assert_eq!(g.note_absent(12, Some(4), t, &c), 0);
+        assert_eq!(g.note_absent(4, Some(4), t, &c), 0);
+        // NACKs fire after the usual delay.
+        assert!(g.due_nacks(t, &c).is_empty());
+        assert_eq!(g.due_nacks(t + c.nack_delay, &c), vec![6, 8, 10, 12]);
+        // An arrival above the watermark clears its own hole.
+        assert_eq!(g.on_chunk(8, Some(4), t, &c), ChunkClass::Fresh);
+        let batch = g.due_nacks(t + c.nack_delay + c.nack_period, &c);
+        assert_eq!(batch, vec![6, 10, 12]);
+    }
+
+    #[test]
+    fn note_absent_without_watermark_stops_at_the_stripe_base() {
+        let mut g = GapTracker::default();
+        let c = cfg().striped(4, 3); // this stripe carries 3, 7, 11, ...
+        let t = SimTime::from_secs(1);
+        assert_eq!(g.note_absent(11, None, t, &c), 3);
+        assert_eq!(g.pending(), 3);
+        // A pre-registered chunk arriving as the first delivery is
+        // fresh and no longer missing.
+        assert_eq!(g.on_chunk(7, None, t, &c), ChunkClass::Fresh);
+        assert_eq!(g.pending(), 2);
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl fmt::Display for Summary {
 
 /// One measurement slot's worth of metrics (a point on the paper's
 /// figures).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SlotMeasurement {
     /// Simulated time of the measurement, seconds.
     pub time_s: f64,
@@ -139,11 +139,24 @@ pub struct RecoveryStats {
     /// Join/rejoin requests shed to a sibling (or rejected) because the
     /// admission queue was full.
     pub joins_shed: u64,
+    /// Cross-tree NACK messages sent (multi-tree extension: an orphaned
+    /// stripe receiver pulling from a sibling-tree parent).
+    pub cross_nacks_sent: u64,
+    /// Stream chunks recovered through cross-tree repair.
+    pub cross_repaired: u64,
+    /// Cross-tree retransmissions whose sequence number did not belong
+    /// to the receiver's stripe (must stay 0; counted rather than
+    /// dropped silently so tests can assert the invariant).
+    pub cross_stripe_violations: u64,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
     if xs.is_empty() {
-        return 0.0;
+        // NaN, not 0: per the aggregation policy, empty-sample medians
+        // must be *skipped* by `Summary::of`/CI aggregation. Reporting 0
+        // would conflate "no failovers happened" with "failover was
+        // instant" in downstream CSV columns.
+        return f64::NAN;
     }
     xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len();
@@ -160,7 +173,9 @@ impl RecoveryStats {
         Summary::of(self.reconnections.iter().map(|&(_, d)| d))
     }
 
-    /// Median time-to-reconnect (0 when no reconnections happened).
+    /// Median time-to-reconnect (NaN when no reconnections happened —
+    /// NaN-skipping aggregation drops the sample instead of reading an
+    /// empty counter as an instant reconnect).
     pub fn reconnect_median(&self) -> f64 {
         median(self.reconnections.iter().map(|&(_, d)| d).collect())
     }
@@ -170,7 +185,8 @@ impl RecoveryStats {
         Summary::of(self.delivery_gaps.iter().map(|&(_, d)| d))
     }
 
-    /// Median delivery-gap duration (0 when no gaps were recorded).
+    /// Median delivery-gap duration (NaN when no gaps were recorded;
+    /// see [`RecoveryStats::reconnect_median`]).
     pub fn gap_median(&self) -> f64 {
         median(self.delivery_gaps.iter().map(|&(_, d)| d).collect())
     }
@@ -286,6 +302,12 @@ impl RunStats {
         m.counter_add("recovery.chunks_lost", r.chunks_lost);
         m.counter_add("recovery.joins_throttled", r.joins_throttled);
         m.counter_add("recovery.joins_shed", r.joins_shed);
+        m.counter_add("recovery.cross_nacks_sent", r.cross_nacks_sent);
+        m.counter_add("recovery.cross_repaired", r.cross_repaired);
+        m.counter_add(
+            "recovery.cross_stripe_violations",
+            r.cross_stripe_violations,
+        );
         // Fixed buckets in seconds: sub-second failover through
         // walk-scale (tens of seconds) recovery.
         const SECS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0];
@@ -394,7 +416,18 @@ mod tests {
         assert_eq!(r.gap_median(), 6.0);
         assert_eq!(r.total_violations(), 3);
         assert_eq!(RecoveryStats::default().total_violations(), 0);
-        assert_eq!(RecoveryStats::default().reconnect_median(), 0.0);
+    }
+
+    /// Zero-sample medians must be NaN (skipped by `Summary::of` and CI
+    /// aggregation), never 0: "no failovers" is not "instant failover".
+    #[test]
+    fn empty_medians_are_nan_and_skipped_by_aggregation() {
+        let empty = RecoveryStats::default();
+        assert!(empty.reconnect_median().is_nan());
+        assert!(empty.gap_median().is_nan());
+        let s = Summary::of([empty.reconnect_median(), 2.0, 4.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 3.0);
     }
 
     #[test]

@@ -92,6 +92,41 @@ impl TreeSnapshot {
         counts
     }
 
+    /// Connected members that currently relay the stream to at least
+    /// one child (interior nodes). The source is excluded — it is
+    /// interior in every tree by construction, so including it would
+    /// mask the interior-disjointness a multi-tree session achieves.
+    pub fn interior_members(&self) -> Vec<HostId> {
+        let counts = self.child_counts();
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| counts[m.idx()] > 0 && self.parent_of(m).is_some())
+            .collect()
+    }
+
+    /// Tree nodes in each host's subtree, the host itself included
+    /// (0 for hosts outside the tree; unrooted members contribute
+    /// nothing). `subtree[source]` equals the rooted-member count.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parent.len()];
+        let depths = self.depths();
+        for &m in &self.members {
+            if depths[m.idx()].is_none() {
+                continue;
+            }
+            let mut cur = m;
+            loop {
+                sizes[cur.idx()] += 1;
+                match self.parent_of(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+        }
+        sizes
+    }
+
     /// Hop depth of every connected member (source = 0); `None` for
     /// members whose chain does not reach the source.
     pub fn depths(&self) -> Vec<Option<usize>> {
@@ -266,6 +301,16 @@ mod tests {
     fn valid_tree_passes() {
         let t = sample();
         assert!(t.validate(&[3, 2, 1, 1, 1]).is_empty());
+    }
+
+    #[test]
+    fn interiors_and_subtree_sizes() {
+        let t = sample();
+        // Only host 1 relays (source excluded, 2/3 are leaves, 4 is
+        // mid-join).
+        assert_eq!(t.interior_members(), vec![HostId(1)]);
+        // Subtrees: 1 carries {1,2,3}; source sees every rooted member.
+        assert_eq!(t.subtree_sizes(), vec![3, 3, 1, 1, 0]);
     }
 
     #[test]

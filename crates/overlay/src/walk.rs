@@ -195,6 +195,14 @@ pub struct WalkConfig {
     /// draws no randomness at all, leaving the RNG streams of existing
     /// runs untouched.
     pub jitter_frac: f64,
+    /// Restart-anchor damping: restart a failed walk from the deepest
+    /// *visited* responsive ancestor instead of always the fallback
+    /// node. A Case-III descent that dies near the frontier then
+    /// resumes near the frontier — restart depth is monotonically
+    /// non-decreasing within one join — instead of re-walking the whole
+    /// tree from the source. `false` keeps the paper's source-anchored
+    /// restarts (and the event sequence of existing runs) exactly.
+    pub restart_anchor: bool,
 }
 
 impl Default for WalkConfig {
@@ -205,6 +213,7 @@ impl Default for WalkConfig {
             max_restarts: 4,
             backoff: 1.0,
             jitter_frac: 0.0,
+            restart_anchor: false,
         }
     }
 }
@@ -271,6 +280,12 @@ pub struct Walk {
     /// bookkeeping with no events of its own; the resilience extension
     /// harvests it as backup-parent candidates.
     harvest: Vec<(HostId, VDist)>,
+    /// Responsive descent chain, shallowest-first: every node that
+    /// answered an info request on the way down (the same bookkeeping
+    /// the backup-candidate harvest draws from). Restart-anchor damping
+    /// resumes at its deepest entry that is not the node that just
+    /// failed. Unused (and empty) unless `cfg.restart_anchor` is on.
+    visited: Vec<HostId>,
     phase: Phase,
 }
 
@@ -299,6 +314,7 @@ impl Walk {
             iteration: 0,
             refine_baseline,
             harvest: Vec::new(),
+            visited: Vec::new(),
             phase: Phase::AwaitInfo {
                 sent_at: SimTime::ZERO,
                 retries: 0,
@@ -369,15 +385,28 @@ impl Walk {
     fn restart(&mut self, ctx: &mut Ctx<'_>) -> Option<WalkOutcome> {
         self.restarts += 1;
         ctx.stats.walk_restarts += 1;
+        let anchor = if self.cfg.restart_anchor {
+            // Restart-anchor damping: drop the node that just failed
+            // from the responsive chain and resume at the deepest
+            // remaining visited ancestor. The chain only ever grows
+            // (except for that one pop), so restart depth is monotone
+            // non-decreasing while failures stay at the frontier.
+            while self.visited.last() == Some(&self.current) {
+                self.visited.pop();
+            }
+            self.visited.last().copied().unwrap_or(self.fallback)
+        } else {
+            self.fallback
+        };
         ctx.trace(|| vdm_trace::TraceEvent::WalkRestart {
             host: ctx.me.0,
             restarts: self.restarts,
-            anchor: self.fallback.0,
+            anchor: anchor.0,
         });
         if self.restarts > self.cfg.max_restarts {
             return Some(WalkOutcome::Failed);
         }
-        self.current = self.fallback;
+        self.current = anchor;
         self.iteration = 0;
         self.phase = Phase::AwaitInfo {
             sent_at: ctx.now(),
@@ -411,6 +440,9 @@ impl Walk {
                 };
                 let d_current = policy.vdist(rtt, loss);
                 self.harvest.push((self.current, d_current));
+                if self.cfg.restart_anchor && self.visited.last() != Some(&self.current) {
+                    self.visited.push(self.current);
+                }
                 // Probe every reported child except ourselves.
                 let reported: Vec<ChildEntry> = children
                     .iter()
@@ -690,5 +722,204 @@ impl Walk {
                 None
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunStats;
+    use std::sync::Arc;
+    use vdm_netsim::{Engine, LatencySpace};
+
+    /// Descend into the first reported child; attach at leaves.
+    struct DescendFirst;
+    impl WalkPolicy for DescendFirst {
+        fn vdist(&self, rtt_ms: f64, _loss: f64) -> VDist {
+            rtt_ms
+        }
+        fn decide(&self, p: &ProbeResult, _purpose: WalkPurpose) -> WalkStep {
+            match p.children.first() {
+                Some(c) => WalkStep::Descend(c.child),
+                None => WalkStep::Attach { splice: vec![] },
+            }
+        }
+    }
+
+    fn engine() -> Engine<Msg> {
+        let n = 8;
+        let mut rtt = vec![vec![0.0; n]; n];
+        for (i, row) in rtt.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                if i != j {
+                    *v = 10.0;
+                }
+            }
+        }
+        Engine::new(Arc::new(LatencySpace::from_rtt_matrix(&rtt)), 1)
+    }
+
+    /// Feed an info response from `from` reporting `children` (then the
+    /// matching pong, if any), driving the walk one level.
+    fn step_info(
+        walk: &mut Walk,
+        eng: &mut Engine<Msg>,
+        stats: &mut RunStats,
+        from: u32,
+        children: &[u32],
+    ) {
+        let msg = Msg::InfoResp {
+            nonce: walk.generation(),
+            children: children
+                .iter()
+                .map(|&c| ChildEntry {
+                    child: HostId(c),
+                    vdist: 1.0,
+                })
+                .collect(),
+            parent: None,
+        };
+        let mut ctx = Ctx {
+            me: HostId(0),
+            eng,
+            stats,
+            loss_probe_noise: 0.0,
+        };
+        walk.on_msg(&mut ctx, HostId(from), &msg, &DescendFirst, 2);
+        // At most one child per round keeps the ping nonce predictable.
+        for &c in children {
+            let pong = Msg::Pong {
+                nonce: walk.generation(),
+            };
+            walk.on_msg(&mut ctx, HostId(c), &pong, &DescendFirst, 2);
+        }
+    }
+
+    fn reject(walk: &mut Walk, eng: &mut Engine<Msg>, stats: &mut RunStats, from: u32) {
+        let msg = Msg::ConnResp {
+            nonce: walk.generation(),
+            result: ConnResult::Rejected,
+        };
+        let mut ctx = Ctx {
+            me: HostId(0),
+            eng,
+            stats,
+            loss_probe_noise: 0.0,
+        };
+        walk.on_msg(&mut ctx, HostId(from), &msg, &DescendFirst, 2);
+    }
+
+    /// Restart-anchor damping: a Case-III descent that dies at the
+    /// frontier resumes from the deepest visited responsive ancestor,
+    /// and the restart depth never decreases within one join.
+    #[test]
+    fn damped_restarts_resume_at_deepest_visited_ancestor() {
+        let mut eng = engine();
+        let mut stats = RunStats::new(8);
+        let cfg = WalkConfig {
+            restart_anchor: true,
+            ..WalkConfig::default()
+        };
+        let mut walk = {
+            let mut ctx = Ctx {
+                me: HostId(0),
+                eng: &mut eng,
+                stats: &mut stats,
+                loss_probe_noise: 0.0,
+            };
+            Walk::start(
+                WalkPurpose::Join,
+                HostId(7),
+                HostId(7),
+                SimTime::ZERO,
+                cfg,
+                0,
+                None,
+                &mut ctx,
+            )
+        };
+        // Chain depth per host in this scripted tree: 7 -> 1 -> leaf.
+        let depth = |h: HostId| match h.0 {
+            7 => 0usize,
+            1 => 1,
+            _ => 2,
+        };
+        // Descend 7 -> 1 -> 2; 2 rejects the attach.
+        step_info(&mut walk, &mut eng, &mut stats, 7, &[1]);
+        step_info(&mut walk, &mut eng, &mut stats, 1, &[2]);
+        step_info(&mut walk, &mut eng, &mut stats, 2, &[]);
+        reject(&mut walk, &mut eng, &mut stats, 2);
+        assert_eq!(walk.restarts(), 1);
+        assert_eq!(walk.current(), HostId(1), "resume below the source");
+        let mut depths = vec![depth(walk.current())];
+        // Second attempt: 1 -> 3; 3 rejects too.
+        step_info(&mut walk, &mut eng, &mut stats, 1, &[3]);
+        step_info(&mut walk, &mut eng, &mut stats, 3, &[]);
+        reject(&mut walk, &mut eng, &mut stats, 3);
+        assert_eq!(walk.restarts(), 2);
+        assert_eq!(walk.current(), HostId(1));
+        depths.push(depth(walk.current()));
+        assert!(
+            depths.windows(2).all(|w| w[1] >= w[0]),
+            "restart depth must be monotone non-decreasing, got {depths:?}"
+        );
+        // Walk 3: 1 -> 4 accepts; the damped walk still completes.
+        step_info(&mut walk, &mut eng, &mut stats, 1, &[4]);
+        step_info(&mut walk, &mut eng, &mut stats, 4, &[]);
+        let msg = Msg::ConnResp {
+            nonce: walk.generation(),
+            result: ConnResult::Accepted {
+                grandparent: Some(HostId(1)),
+                adopted: vec![],
+                root_path: vec![],
+            },
+        };
+        let mut ctx = Ctx {
+            me: HostId(0),
+            eng: &mut eng,
+            stats: &mut stats,
+            loss_probe_noise: 0.0,
+        };
+        let out = walk.on_msg(&mut ctx, HostId(4), &msg, &DescendFirst, 2);
+        assert!(matches!(
+            out,
+            Some(WalkOutcome::Connected { parent, .. }) if parent == HostId(4)
+        ));
+    }
+
+    /// The flag off keeps the paper's behaviour: every restart goes back
+    /// to the fallback node.
+    #[test]
+    fn undamped_restarts_return_to_the_fallback() {
+        let mut eng = engine();
+        let mut stats = RunStats::new(8);
+        let mut walk = {
+            let mut ctx = Ctx {
+                me: HostId(0),
+                eng: &mut eng,
+                stats: &mut stats,
+                loss_probe_noise: 0.0,
+            };
+            Walk::start(
+                WalkPurpose::Join,
+                HostId(7),
+                HostId(7),
+                SimTime::ZERO,
+                WalkConfig::default(),
+                0,
+                None,
+                &mut ctx,
+            )
+        };
+        step_info(&mut walk, &mut eng, &mut stats, 7, &[1]);
+        step_info(&mut walk, &mut eng, &mut stats, 1, &[2]);
+        step_info(&mut walk, &mut eng, &mut stats, 2, &[]);
+        reject(&mut walk, &mut eng, &mut stats, 2);
+        assert_eq!(walk.restarts(), 1);
+        assert_eq!(
+            walk.current(),
+            HostId(7),
+            "undamped walks restart at the fallback"
+        );
     }
 }

@@ -182,6 +182,17 @@ pub enum TraceEvent {
         /// Hit (`true`) or miss (`false`).
         hit: bool,
     },
+    /// An event attributed to one tree of a multi-tree session. The
+    /// serialized record keeps the inner event's `kind` and fields and
+    /// adds a `tree` field, so single-tree consumers and host filters
+    /// keep working unchanged on tagged streams.
+    Tagged {
+        /// Index of the stripe tree the inner event belongs to.
+        tree: u32,
+        /// The per-tree event, with host ids already mapped back to
+        /// physical ids (see [`TraceEvent::map_hosts`]).
+        inner: Box<TraceEvent>,
+    },
 }
 
 impl TraceEvent {
@@ -202,6 +213,120 @@ impl TraceEvent {
             TraceEvent::AdmissionShed { .. } => "admission_shed",
             TraceEvent::FaultApplied { .. } => "fault_applied",
             TraceEvent::CacheLookup { .. } => "cache_lookup",
+            TraceEvent::Tagged { inner, .. } => inner.kind(),
+        }
+    }
+
+    /// Rewrite every host-valued field through `f`. Multi-tree sessions
+    /// run agents under virtual ids; this maps a per-tree event back to
+    /// physical ids before it is tagged and recorded.
+    pub fn map_hosts(self, f: &impl Fn(u32) -> u32) -> TraceEvent {
+        match self {
+            TraceEvent::WalkStart {
+                host,
+                purpose,
+                start,
+            } => TraceEvent::WalkStart {
+                host: f(host),
+                purpose,
+                start: f(start),
+            },
+            TraceEvent::WalkDecision {
+                host,
+                at,
+                cases,
+                action,
+                next,
+                splice,
+            } => TraceEvent::WalkDecision {
+                host: f(host),
+                at: f(at),
+                cases: map_encoded_cases(&cases, f),
+                action,
+                next: f(next),
+                splice: splice.map(f),
+            },
+            TraceEvent::WalkRestart {
+                host,
+                restarts,
+                anchor,
+            } => TraceEvent::WalkRestart {
+                host: f(host),
+                restarts,
+                anchor: f(anchor),
+            },
+            TraceEvent::WalkConnected {
+                host,
+                parent,
+                purpose,
+            } => TraceEvent::WalkConnected {
+                host: f(host),
+                parent: f(parent),
+                purpose,
+            },
+            TraceEvent::ParentChange {
+                host,
+                parent,
+                vdist,
+            } => TraceEvent::ParentChange {
+                host: f(host),
+                parent: f(parent),
+                vdist,
+            },
+            TraceEvent::Orphaned { host, old_parent } => TraceEvent::Orphaned {
+                host: f(host),
+                old_parent: old_parent.map(f),
+            },
+            TraceEvent::FailoverAttempt {
+                host,
+                target,
+                attempt,
+            } => TraceEvent::FailoverAttempt {
+                host: f(host),
+                target: f(target),
+                attempt,
+            },
+            TraceEvent::FailoverResult { host, ok, parent } => TraceEvent::FailoverResult {
+                host: f(host),
+                ok,
+                parent: parent.map(f),
+            },
+            TraceEvent::NackSent {
+                host,
+                parent,
+                count,
+            } => TraceEvent::NackSent {
+                host: f(host),
+                parent: f(parent),
+                count,
+            },
+            TraceEvent::ChunkRepaired { host, seq } => {
+                TraceEvent::ChunkRepaired { host: f(host), seq }
+            }
+            TraceEvent::AdmissionThrottled { host, joiner } => TraceEvent::AdmissionThrottled {
+                host: f(host),
+                joiner: f(joiner),
+            },
+            TraceEvent::AdmissionShed { host, joiner } => TraceEvent::AdmissionShed {
+                host: f(host),
+                joiner: f(joiner),
+            },
+            TraceEvent::FaultApplied {
+                fate,
+                from,
+                to,
+                extra_us,
+            } => TraceEvent::FaultApplied {
+                fate,
+                from: f(from),
+                to: f(to),
+                extra_us,
+            },
+            ev @ TraceEvent::CacheLookup { .. } => ev,
+            TraceEvent::Tagged { tree, inner } => TraceEvent::Tagged {
+                tree,
+                inner: Box::new(inner.map_hosts(f)),
+            },
         }
     }
 
@@ -209,6 +334,15 @@ impl TraceEvent {
     pub fn to_jsonl(&self, t_us: u64) -> String {
         let mut w = ObjWriter::new();
         w.u64("t_us", t_us).str("kind", self.kind());
+        self.write_fields(&mut w);
+        w.finish()
+    }
+
+    /// Write this event's own fields (everything after `t_us`/`kind`)
+    /// into `w`. Split out of [`TraceEvent::to_jsonl`] so a
+    /// [`TraceEvent::Tagged`] wrapper can prepend its `tree` field and
+    /// then reuse the inner event's serialization verbatim.
+    fn write_fields(&self, w: &mut ObjWriter) {
         match self {
             TraceEvent::WalkStart {
                 host,
@@ -316,9 +450,33 @@ impl TraceEvent {
             TraceEvent::CacheLookup { domain, hit } => {
                 w.str("domain", domain).bool("hit", *hit);
             }
+            TraceEvent::Tagged { tree, inner } => {
+                w.u64("tree", *tree as u64);
+                inner.write_fields(w);
+            }
         }
-        w.finish()
     }
+}
+
+/// Remap the child ids inside an [`encode_cases`] string. Entries that
+/// do not parse (defensive: the format is ours) pass through unchanged.
+fn map_encoded_cases(cases: &str, f: &impl Fn(u32) -> u32) -> String {
+    let mut s = String::new();
+    for (i, entry) in cases.split(',').enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        match entry.split_once(':') {
+            Some((child, case)) => match child.parse::<u32>() {
+                Ok(c) => {
+                    let _ = write!(s, "{}:{}", f(c), case);
+                }
+                Err(_) => s.push_str(entry),
+            },
+            None => s.push_str(entry),
+        }
+    }
+    s
 }
 
 /// Fields that identify hosts in a serialized record, in the order
@@ -421,6 +579,10 @@ mod tests {
                 domain: "topology/ch3".into(),
                 hit: true,
             },
+            TraceEvent::Tagged {
+                tree: 2,
+                inner: Box::new(TraceEvent::ChunkRepaired { host: 1, seq: 42 }),
+            },
         ];
         for ev in events {
             let line = ev.to_jsonl(123);
@@ -442,6 +604,68 @@ mod tests {
         assert!(record_touches_host(&rec, 4));
         assert!(record_touches_host(&rec, 17));
         assert!(!record_touches_host(&rec, 5));
+    }
+
+    #[test]
+    fn tagged_events_keep_the_inner_kind_and_add_a_tree_field() {
+        let inner = TraceEvent::NackSent {
+            host: 7,
+            parent: 3,
+            count: 2,
+        };
+        let tagged = TraceEvent::Tagged {
+            tree: 1,
+            inner: Box::new(inner.clone()),
+        };
+        assert_eq!(tagged.kind(), "nack_sent");
+        let rec = parse_flat_object(&tagged.to_jsonl(5)).unwrap();
+        assert_eq!(rec["tree"].as_num(), Some(1.0));
+        let plain = parse_flat_object(&inner.to_jsonl(5)).unwrap();
+        for (k, v) in &plain {
+            assert_eq!(rec.get(k), Some(v), "field {k} diverged under tagging");
+        }
+        assert!(record_touches_host(&rec, 7));
+    }
+
+    #[test]
+    fn map_hosts_rewrites_every_host_field() {
+        let f = |h: u32| h % 4;
+        let ev = TraceEvent::Tagged {
+            tree: 1,
+            inner: Box::new(TraceEvent::WalkDecision {
+                host: 5,
+                at: 6,
+                cases: encode_cases(&[(6, CaseClass::I), (7, CaseClass::III)]),
+                action: "descend",
+                next: 7,
+                splice: Some(4),
+            }),
+        };
+        match ev.map_hosts(&f) {
+            TraceEvent::Tagged { tree, inner } => {
+                assert_eq!(tree, 1);
+                match *inner {
+                    TraceEvent::WalkDecision {
+                        host,
+                        at,
+                        cases,
+                        next,
+                        splice,
+                        ..
+                    } => {
+                        assert_eq!((host, at, next, splice), (1, 2, 3, Some(0)));
+                        assert_eq!(cases, "2:I,3:III");
+                    }
+                    other => panic!("inner variant changed: {other:?}"),
+                }
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+        let hostless = TraceEvent::CacheLookup {
+            domain: "x".into(),
+            hit: false,
+        };
+        assert_eq!(hostless.clone().map_hosts(&f), hostless);
     }
 
     #[test]
