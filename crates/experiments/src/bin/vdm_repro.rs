@@ -42,6 +42,13 @@
 //! the A7 combined fault cocktail, and writes `BENCH_multitree.json`.
 //! The run fails if the k = 1 session is not byte-identical to the
 //! single-tree driver; `--smoke` runs a tiny grid sequentially for CI.
+//!
+//! `bootstrap` (A11) is likewise separate: joiners start from a
+//! k-entry bootstrap set (gossip discovery instead of a known source
+//! address) and a flash crowd lands on it under staleness and seed
+//! churn; writes `BENCH_bootstrap.json`. The run fails on any
+//! structural invariant violation; `--smoke` runs the k = 3 / 30 %
+//! stale / 50 % seed-churn acceptance cell sequentially for CI.
 //! ```
 //!
 //! Runs fan their simulation cells across a thread pool
@@ -73,7 +80,7 @@ use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vdm_experiments::figures::{
-    ablation, chaos, compare, complexity, fig3, fig4, fig5, multitree, scale, soak,
+    ablation, bootstrap, chaos, compare, complexity, fig3, fig4, fig5, multitree, scale, soak,
 };
 use vdm_experiments::{runner, setup, Effort, Table};
 use vdm_topology::cache;
@@ -141,6 +148,10 @@ fn run_family(name: &str, opts: &Opts) -> io::Result<bool> {
         "compare" => compare::ch3_compare(e, 5.0, s),
         "chaos" => chaos::chaos_recovery(e, s),
         "soak" => soak::soak_resilience(e, s),
+        // Reachable from `trace bootstrap` only: the `bootstrap`
+        // subcommand proper goes through `run_bootstrap` for the JSON
+        // report and its invariant gate.
+        "bootstrap" => bootstrap::bootstrap_family(e, s).tables,
         "ablation" => {
             let mut t = ablation::slack_sweep(e, s);
             t.extend(ablation::reconnect_anchor(e, s));
@@ -308,6 +319,46 @@ fn run_multitree(opts: &Opts, smoke: bool) -> io::Result<()> {
     Ok(())
 }
 
+/// `vdm-repro bootstrap` (A11): flash-crowd joins from a k-entry
+/// bootstrap set under staleness and seed churn, VDM vs HMTP, emit
+/// `BENCH_bootstrap.json`. Fails on any structural invariant violation
+/// and, in smoke mode, when no joiner ever anchored via discovery.
+fn run_bootstrap(opts: &Opts, smoke: bool) -> io::Result<()> {
+    if smoke {
+        // Tiny and sequential: the CI gate checks that the report is
+        // produced, parses, and carries zero invariant violations.
+        std::env::set_var("VDM_SEQUENTIAL", "1");
+    }
+    let seed = opts.seed;
+    let t0 = Instant::now();
+    let report = if smoke {
+        bootstrap::bootstrap_family_smoke(seed)
+    } else {
+        bootstrap::bootstrap_family(opts.effort, seed)
+    };
+    emit(&report.tables, opts)?;
+    let json = report.to_json(smoke, seed);
+    let dir = opts.csv_dir.clone().unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&dir)
+        .map_err(io_ctx(format!("creating bootstrap directory `{dir}`")))?;
+    let path = format!("{dir}/BENCH_bootstrap.json");
+    std::fs::write(&path, &json).map_err(io_ctx(format!("writing bootstrap report `{path}`")))?;
+    println!("  [json] {path}");
+    println!("[done bootstrap in {:.1?}]", t0.elapsed());
+    if report.total_violations > 0 {
+        return Err(io::Error::other(format!(
+            "{} structural invariant violations under the flash crowd — discovery broke the tree",
+            report.total_violations
+        )));
+    }
+    if smoke && !report.anchor_median_s.is_finite() {
+        return Err(io::Error::other(
+            "no joiner anchored via discovery in the smoke cell — bootstrap path dead",
+        ));
+    }
+    Ok(())
+}
+
 /// `vdm-repro trace <family>`: run a family with the structured tracer
 /// and profiler on, then write the event log, chrome trace and metrics
 /// snapshot. Exits the process (non-zero on any failure).
@@ -361,7 +412,7 @@ fn trace_run(family: &str, args: &[String]) -> ! {
             }
         }
     }
-    if !ALL.contains(&family) || family == "fig5-tree" {
+    if (!ALL.contains(&family) && family != "bootstrap") || family == "fig5-tree" {
         eprintln!("unknown or untraceable family: {family}");
         print_usage();
         std::process::exit(2);
@@ -434,6 +485,9 @@ fn trace_run(family: &str, args: &[String]) -> ! {
     runner::export_metrics(&mut m);
     cache::export_metrics(&mut m);
     vdm_topology::router::export_metrics(&mut m);
+    // Per-run overlay counters (discovery probes, anchors, fallbacks)
+    // accumulated by the A11 cells; empty for other families.
+    bootstrap::export_metrics(&mut m);
     let metrics_path = format!("{out_dir}/metrics_{family}.json");
     if let Err(e) = std::fs::write(&metrics_path, m.to_json())
         .map_err(io_ctx(format!("writing metrics `{metrics_path}`")))
@@ -743,8 +797,8 @@ fn main() {
         }
         return;
     }
-    if smoke && family != "scale" && family != "multitree" {
-        eprintln!("error: --smoke only applies to `bench`, `scale` and `multitree`");
+    if smoke && family != "scale" && family != "multitree" && family != "bootstrap" {
+        eprintln!("error: --smoke only applies to `bench`, `scale`, `multitree` and `bootstrap`");
         std::process::exit(2);
     }
     // The chaos and soak families always leave a CSV audit trail (their
@@ -770,6 +824,13 @@ fn main() {
     }
     if family == "multitree" {
         if let Err(e) = run_multitree(&opts, smoke) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if family == "bootstrap" {
+        if let Err(e) = run_bootstrap(&opts, smoke) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
@@ -804,6 +865,7 @@ fn print_usage() {
          \x20      vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro scale [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro multitree [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
+         \x20      vdm-repro bootstrap [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]\n\
          \x20                  [--csv DIR] [--cache DIR|--no-cache]\n\
          \x20      vdm-repro trace filter|summarize|dump --input FILE\n\

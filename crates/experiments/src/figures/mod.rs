@@ -2,6 +2,7 @@
 //! figure-to-runner index.
 
 pub mod ablation;
+pub mod bootstrap;
 pub mod chaos;
 pub mod compare;
 pub mod complexity;

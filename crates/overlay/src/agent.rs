@@ -33,6 +33,10 @@ pub const ADMIT_TOKEN: u64 = 1 << 57;
 pub const FAILOVER_TOKEN_BIT: u64 = 1 << 56;
 /// Timer token for the gap-repair NACK scheduler.
 pub const REPAIR_TOKEN: u64 = 1 << 55;
+/// Timer-token namespace bit for bootstrap-discovery probe deadlines
+/// (the low bits carry the probe nonce, which stays far below this
+/// bit).
+pub const DISCOVERY_TOKEN_BIT: u64 = 1 << 54;
 
 /// Heartbeat settings for the ungraceful-failure extension: children
 /// beacon their parent every `period`; parents prune children silent
@@ -251,6 +255,12 @@ pub trait OverlayAgent {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg);
     /// A timer fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+    /// Install bootstrap-discovery state (called by the driver before
+    /// `on_join_cmd` when the scenario carries a
+    /// [`crate::discovery::DiscoveryConfig`]). Default: ignore — agents
+    /// without discovery support keep the omniscient source-anchored
+    /// join.
+    fn configure_discovery(&mut self, _cfg: &crate::discovery::DiscoveryConfig, _now: SimTime) {}
     /// Source only: emit one stream chunk to the children.
     fn emit_data(&mut self, ctx: &mut Ctx<'_>, seq: u64);
     /// Current parent.
@@ -375,6 +385,9 @@ pub struct ProtocolAgent<P: WalkPolicy> {
     /// (multi-tree extension; inert without `cfg.cross_repair`).
     cross_tokens: f64,
     cross_refilled_at: SimTime,
+    /// Bootstrap-discovery state (`None` keeps the omniscient
+    /// source-anchored join byte-identical to pre-discovery runs).
+    discovery: Option<crate::discovery::DiscoveryState>,
 }
 
 impl<P: WalkPolicy> ProtocolAgent<P> {
@@ -418,6 +431,7 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             lost_reported: 0,
             cross_tokens: cfg.cross_repair.map_or(0.0, |a| a.burst),
             cross_refilled_at: SimTime::ZERO,
+            discovery: None,
         }
     }
 
@@ -957,6 +971,151 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         self.walk = Some(w);
     }
 
+    /// Begin bootstrap discovery on a join command. Returns `true` when
+    /// a probe round was fired (the walk waits for a discovered
+    /// anchor); `false` falls through to the omniscient source-anchored
+    /// walk — discovery is off, the episode already ended, or the
+    /// bootstrap set is empty (in which case nothing is counted or
+    /// traced, so an empty-seed config stays byte-identical to
+    /// discovery off).
+    fn discovery_begin(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let now = ctx.now();
+        let Some(d) = self.discovery.as_mut() else {
+            return false;
+        };
+        if d.finished() {
+            return false;
+        }
+        if d.cfg().seeds.is_empty() && !d.has_candidates(now) {
+            return false;
+        }
+        self.discovery_fire(ctx);
+        true
+    }
+
+    /// Fire one probe round at the freshest untried view entries; when
+    /// the view or the round budget is exhausted, record the fallback
+    /// and start the plain source-anchored join walk (from where the
+    /// candidate → ancestor → source recovery hierarchy applies
+    /// unchanged).
+    fn discovery_fire(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let (targets, round, timeout, backoff, jitter) = {
+            let d = self
+                .discovery
+                .as_mut()
+                .expect("discovery_fire without state");
+            let targets = d.begin_round(now);
+            let c = d.cfg();
+            (
+                targets,
+                d.round(),
+                c.request_timeout,
+                c.backoff,
+                c.jitter_frac,
+            )
+        };
+        if targets.is_empty() {
+            if let Some(d) = self.discovery.as_mut() {
+                d.finish();
+            }
+            ctx.stats.recovery.discovery_fallbacks += 1;
+            ctx.trace(|| vdm_trace::TraceEvent::DiscoveryFallback { host: ctx.me.0 });
+            if self.walk.is_none() && !self.state.connected() {
+                self.start_walk(ctx, WalkPurpose::Join, self.source);
+            }
+            return;
+        }
+        let fanout = targets.len() as u32;
+        ctx.trace(|| vdm_trace::TraceEvent::DiscoveryRound {
+            host: ctx.me.0,
+            round,
+            fanout,
+        });
+        for t in targets {
+            let nonce = self.stamp();
+            if let Some(d) = self.discovery.as_mut() {
+                d.note_inflight(nonce, t);
+            }
+            ctx.stats.recovery.bootstrap_contacts += 1;
+            ctx.send(t, Msg::PeerReq { nonce });
+            // Deadlines stretch exponentially across rounds — the same
+            // retry machinery as failed walks — which is what lets a
+            // shedding seed's serving bucket refill between re-probes.
+            let d =
+                crate::walk::scaled_delay(timeout, backoff, round.saturating_sub(1), jitter, ctx);
+            ctx.timer(d, DISCOVERY_TOKEN_BIT | nonce);
+        }
+    }
+
+    /// Answer a bootstrap probe out of the serving budget. Nodes that
+    /// are not yet attached to the tree (or whose budget is dry) drop
+    /// the request silently — the prober's timeout+backoff spreads the
+    /// flash crowd out instead of amplifying it.
+    fn handle_peer_req(&mut self, ctx: &mut Ctx<'_>, from: HostId, nonce: u64) {
+        let now = ctx.now();
+        let me = ctx.me;
+        let Some(d) = self.discovery.as_mut() else {
+            return;
+        };
+        // The prober is demonstrably alive: gossip it onward.
+        d.observe_at(from, me, now);
+        if !self.state.connected() || !d.serve_take(now) {
+            ctx.stats.recovery.peer_reqs_dropped += 1;
+            return;
+        }
+        ctx.stats.recovery.peer_reqs_served += 1;
+        let children: Vec<HostId> = self.state.children.iter().map(|&(c, _)| c).collect();
+        let peers = d
+            .share(me, from, self.state.parent, &children, now)
+            .into_iter()
+            .map(|(host, age_s)| crate::msg::PeerEntry { host, age_s })
+            .collect();
+        ctx.send(from, Msg::PeerList { nonce, peers });
+    }
+
+    /// A probe answer arrived: fold the gossip into our view and, if
+    /// the join is still waiting for an anchor, start the walk at the
+    /// responder — an answered probe proves it alive, which is exactly
+    /// what makes it a safe entry anchor.
+    fn handle_peer_list(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        nonce: u64,
+        peers: Vec<crate::msg::PeerEntry>,
+    ) {
+        let now = ctx.now();
+        let me = ctx.me;
+        let Some(d) = self.discovery.as_mut() else {
+            return;
+        };
+        if !d.resolve_inflight(nonce, from) {
+            return; // stale reply from an earlier round or incarnation
+        }
+        d.observe_at(from, me, now);
+        for p in peers {
+            d.observe_aged(p.host, me, p.age_s, now);
+        }
+        if d.finished() {
+            return; // late answer: keep the gossip, anchor already chosen
+        }
+        d.finish();
+        let took = now.saturating_sub(d.started_at().unwrap_or(now)).as_secs();
+        ctx.stats
+            .recovery
+            .discovery_anchors
+            .push((now.as_secs(), took));
+        ctx.trace(|| vdm_trace::TraceEvent::DiscoveryAnchor {
+            host: ctx.me.0,
+            anchor: from.0,
+            took_s: took,
+        });
+        if self.walk.is_none() && !self.state.connected() {
+            self.start_walk(ctx, WalkPurpose::Join, from);
+        }
+    }
+
     fn become_orphan(&mut self, ctx: &mut Ctx<'_>, notify_parent: bool) {
         let dead = self.state.parent;
         if let (true, Some(p)) = (notify_parent, self.state.parent) {
@@ -1289,6 +1448,11 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
             self.join_cmd_at = Some(ctx.now());
         }
         if self.walk.is_none() && !self.state.connected() {
+            // Bootstrap discovery first: find a live mid-tree anchor to
+            // walk from instead of assuming the source address.
+            if self.discovery_begin(ctx) {
+                return;
+            }
             self.start_walk(ctx, WalkPurpose::Join, self.source);
         }
     }
@@ -1322,6 +1486,11 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
         self.ring.clear();
         self.gaps.clear();
         self.cross_gaps.clear();
+        if let Some(d) = self.discovery.as_mut() {
+            // Keep the warm view as membership knowledge; drop the
+            // per-join episode (in-flight probes, round counter).
+            d.reset_episode();
+        }
     }
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg) {
@@ -1564,6 +1733,8 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                     ChunkClass::Duplicate => {}
                 }
             }
+            Msg::PeerReq { nonce } => self.handle_peer_req(ctx, from, nonce),
+            Msg::PeerList { nonce, peers } => self.handle_peer_list(ctx, from, nonce, peers),
         }
     }
 
@@ -1586,6 +1757,24 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                 if !self.failover_try_next(ctx) {
                     self.failover_fall_back_to_walk(ctx);
                 }
+            }
+            return;
+        }
+        if token & DISCOVERY_TOKEN_BIT != 0 {
+            let nonce = token & !DISCOVERY_TOKEN_BIT;
+            let mut fire = false;
+            if let Some(d) = self.discovery.as_mut() {
+                if let Some(dead) = d.timeout_inflight(nonce) {
+                    // An unanswered probe marks its target stale: retire
+                    // it so later rounds (and gossip we forward) stop
+                    // pointing at a departed host.
+                    ctx.stats.recovery.stale_peer_hits += 1;
+                    d.retire(dead);
+                    fire = !d.finished() && d.idle();
+                }
+            }
+            if fire {
+                self.discovery_fire(ctx);
             }
             return;
         }
@@ -1718,6 +1907,17 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
 
     fn degree_limit(&self) -> u32 {
         self.state.degree_limit
+    }
+
+    fn configure_discovery(&mut self, cfg: &crate::discovery::DiscoveryConfig, now: SimTime) {
+        // Every agent gets the state: joiners probe out of it, and any
+        // attached node (the source included) answers probes out of its
+        // serving budget.
+        self.discovery = Some(crate::discovery::DiscoveryState::new(
+            cfg,
+            self.state.host,
+            now,
+        ));
     }
 }
 

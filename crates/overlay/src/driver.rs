@@ -71,6 +71,9 @@ struct WorldState<F: AgentFactory> {
     stats: RunStats,
     actions: Vec<(SimTime, Action)>,
     routed: Option<Arc<RoutedUnderlay>>,
+    /// Bootstrap-discovery config from the scenario, installed on every
+    /// agent the driver creates; `None` keeps the omniscient joins.
+    discovery: Option<crate::discovery::DiscoveryConfig>,
     seq: u64,
     end: SimTime,
     // Slot-delta anchors for loss/overhead measurements.
@@ -241,6 +244,12 @@ impl<F: AgentFactory> World for WorldState<F> {
                     self.incarnations[h.idx()] += 1;
                     self.agents[h.idx()] =
                         Some(self.factory.make(h, self.source, self.limits[h.idx()], inc));
+                    if let Some(dc) = &self.discovery {
+                        let now = eng.now();
+                        if let Some(a) = self.agents[h.idx()].as_mut() {
+                            a.configure_discovery(dc, now);
+                        }
+                    }
                     self.dispatch(eng, h, |a, ctx| a.on_join_cmd(ctx));
                 }
             }
@@ -309,6 +318,7 @@ impl<F: AgentFactory> Driver<F> {
             stats: RunStats::new(n),
             actions: scenario.actions.clone(),
             routed,
+            discovery: scenario.discovery.clone(),
             seq: 0,
             end: scenario.end,
             last_counters: Counters::default(),
@@ -323,6 +333,13 @@ impl<F: AgentFactory> Driver<F> {
             world.limits[source.idx()],
             0,
         ));
+        if let Some(dc) = &world.discovery {
+            // The source never probes (it owns the tree) but needs the
+            // serving budget to answer bootstrap probes.
+            if let Some(a) = world.agents[source.idx()].as_mut() {
+                a.configure_discovery(dc, SimTime::ZERO);
+            }
+        }
         // Schedule the scenario and the stream.
         for (i, (t, _)) in world.actions.iter().enumerate() {
             eng.schedule_external(*t, i as u64);

@@ -17,6 +17,9 @@
 //! * [`agent`] — the message-driven peer agent ([`agent::ProtocolAgent`])
 //!   that runs walks, answers queries, forwards the stream, reconnects
 //!   orphans at the grandparent and optionally refines periodically;
+//! * [`discovery`] — decentralized bootstrap membership: iterative peer
+//!   discovery from a small seed set over a gossiped partial view, so a
+//!   walk can start from a discovered live anchor instead of the source;
 //! * [`tree`] — global tree snapshots and structural validation;
 //! * [`sync`] — a synchronous oracle executor that runs the *same*
 //!   policies against exact distances (used by unit tests, the MST
@@ -32,6 +35,7 @@
 //! * [`stats`] — run statistics and measurement records.
 
 pub mod agent;
+pub mod discovery;
 pub mod driver;
 pub mod metrics;
 pub mod msg;
@@ -45,6 +49,7 @@ pub mod tree;
 pub mod walk;
 
 pub use agent::{AdmissionConfig, AgentConfig, Ctx, OverlayAgent, ProtocolAgent, ResilienceConfig};
+pub use discovery::{DiscoveryConfig, DiscoveryState};
 pub use driver::{Driver, DriverConfig, RunOutput};
 pub use metrics::TreeMetrics;
 pub use msg::Msg;

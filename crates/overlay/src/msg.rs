@@ -21,6 +21,19 @@ pub struct ChildEntry {
     pub vdist: VDist,
 }
 
+/// One gossiped membership entry in a [`Msg::PeerList`]: a peer the
+/// sender knows of, with how long ago the sender last heard of it.
+/// Receivers back-date the entry by `age_s` before inserting it into
+/// their own partial view, so staleness survives multi-hop gossip.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeerEntry {
+    /// The gossiped peer.
+    pub host: HostId,
+    /// Seconds since the sender last heard of that peer (0 for the
+    /// sender's own live tree neighbours).
+    pub age_s: f64,
+}
+
 /// How a joiner wants to connect.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConnKind {
@@ -182,6 +195,24 @@ pub enum Msg {
         /// Retransmitted chunk sequence number.
         seq: u64,
     },
+    /// Bootstrap-discovery probe: "who do you know?" Doubles as a
+    /// liveness check of the target — an answered `PeerReq` proves the
+    /// responder is alive and makes it a usable walk anchor.
+    PeerReq {
+        /// Request id.
+        nonce: u64,
+    },
+    /// Reply to [`Msg::PeerReq`]: a bounded sample of the responder's
+    /// membership knowledge (live tree neighbours first, then its
+    /// gossiped partial view with ages). Responders shed these under a
+    /// token-bucket serving budget, so a flash crowd cannot amplify
+    /// through a cold seed.
+    PeerList {
+        /// Echoed request id.
+        nonce: u64,
+        /// Gossiped peers, most trustworthy first.
+        peers: Vec<PeerEntry>,
+    },
 }
 
 impl Msg {
@@ -202,6 +233,15 @@ mod tests {
         assert!(Msg::CrossData { seq: 0 }.is_data());
         assert!(!Msg::CrossNack { seqs: vec![1] }.is_data());
         assert!(!Msg::Ping { nonce: 1 }.is_data());
+        assert!(!Msg::PeerReq { nonce: 1 }.is_data());
+        assert!(!Msg::PeerList {
+            nonce: 1,
+            peers: vec![PeerEntry {
+                host: HostId(2),
+                age_s: 0.0
+            }]
+        }
+        .is_data());
         assert!(!Msg::Leave.is_data());
         assert!(!Msg::ConnReq {
             nonce: 0,

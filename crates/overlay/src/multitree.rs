@@ -374,7 +374,10 @@ fn primary_vid(ev: &TraceEvent) -> Option<u32> {
         | TraceEvent::NackSent { host, .. }
         | TraceEvent::ChunkRepaired { host, .. }
         | TraceEvent::AdmissionThrottled { host, .. }
-        | TraceEvent::AdmissionShed { host, .. } => Some(*host),
+        | TraceEvent::AdmissionShed { host, .. }
+        | TraceEvent::DiscoveryRound { host, .. }
+        | TraceEvent::DiscoveryAnchor { host, .. }
+        | TraceEvent::DiscoveryFallback { host, .. } => Some(*host),
         TraceEvent::FaultApplied { from, .. } => Some(*from),
         TraceEvent::CacheLookup { .. } => None,
         TraceEvent::Tagged { inner, .. } => primary_vid(inner),

@@ -9,6 +9,7 @@
 //! shape ("At each interval 50 nodes join, and then we do the
 //! measurement").
 
+use crate::discovery::DiscoveryConfig;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use vdm_netsim::{HostId, SimTime};
 
@@ -38,6 +39,10 @@ pub struct Scenario {
     /// selection): drawn from the generating scenario RNG, so the
     /// scenario seed alone fully determines [`Scenario::with_crashes`].
     pub crash_seed: u64,
+    /// Bootstrap-discovery config for every joining agent; `None` (the
+    /// default for all generators) keeps the omniscient source-anchored
+    /// joins byte-identical to pre-discovery runs.
+    pub discovery: Option<DiscoveryConfig>,
 }
 
 /// Parameters for [`Scenario::soak`] (sustained-churn robustness runs,
@@ -81,6 +86,43 @@ pub struct ChurnConfig {
     /// Per-slot churn as a percentage of the population (paper: 1–20 %);
     /// at 10 % with 200 members, 20 leave and 20 join each slot.
     pub churn_pct: f64,
+}
+
+/// Parameters for [`Scenario::flash_crowd`] (decentralized-bootstrap
+/// robustness runs, ablation A11): `joiners` newcomers hit a cold
+/// `seeds`-sized bootstrap set nearly simultaneously, a fraction of the
+/// set is stale (hosts that never join), and part of the live seeds
+/// crash shortly after the crowd arrives.
+#[derive(Clone, Debug)]
+pub struct FlashCrowdConfig {
+    /// Bootstrap-set size `k` (live + stale entries).
+    pub seeds: usize,
+    /// Fraction of the bootstrap set that is stale — entries pointing
+    /// at hosts that never join the session, in `[0, 1)`. At least one
+    /// seed stays live.
+    pub stale_frac: f64,
+    /// Newcomers arriving in the flash crowd.
+    pub joiners: usize,
+    /// Initial phase, seconds: the live seeds join (bootstrapping via
+    /// each other) and settle before the crowd.
+    pub warmup_s: f64,
+    /// When the flash crowd starts, seconds.
+    pub crowd_at_s: f64,
+    /// Crowd arrival window, seconds: joiners land at uniform times in
+    /// `[crowd_at_s, crowd_at_s + spread_s)`.
+    pub spread_s: f64,
+    /// Fraction of the *live* seeds crashed mid-bootstrap, in `[0, 1]`
+    /// (the crashed seeds do not rejoin — their view entries go stale).
+    pub seed_churn_frac: f64,
+    /// Seconds after `crowd_at_s` at which the seed churn strikes.
+    pub churn_delay_s: f64,
+    /// Observation window after the crowd, seconds.
+    pub settle_s: f64,
+    /// Measurement cadence over the settle window, seconds.
+    pub measure_every_s: f64,
+    /// Discovery tunables for every agent; the generator fills in
+    /// [`DiscoveryConfig::seeds`] with the (shuffled) bootstrap set.
+    pub discovery: DiscoveryConfig,
 }
 
 impl Scenario {
@@ -295,6 +337,89 @@ impl Scenario {
         Self::finish(actions, end, crash_seed)
     }
 
+    /// Decentralized-bootstrap flash-crowd schedule (ablation A11).
+    ///
+    /// The candidate pool is shuffled and split into live seeds, stale
+    /// seeds (never join; their bootstrap entries point at dead air)
+    /// and the crowd. Live seeds join over the warmup, the crowd lands
+    /// in a `spread_s` window at `crowd_at_s`, and `seed_churn_frac` of
+    /// the live seeds crash `churn_delay_s` later — so part of every
+    /// joiner's view goes stale *mid-bootstrap*. Every agent receives
+    /// the same shuffled bootstrap set via [`Scenario::discovery`].
+    /// Fully determined by `cfg` and `seed`.
+    pub fn flash_crowd(cfg: &FlashCrowdConfig, candidates: &[HostId], seed: u64) -> Self {
+        assert!(cfg.seeds >= 1 && cfg.joiners >= 1);
+        assert!((0.0..1.0).contains(&cfg.stale_frac));
+        assert!((0.0..=1.0).contains(&cfg.seed_churn_frac));
+        assert!(candidates.len() >= cfg.seeds + cfg.joiners);
+        assert!(cfg.warmup_s > 0.0 && cfg.crowd_at_s >= cfg.warmup_s);
+        assert!(cfg.spread_s >= 0.0 && cfg.settle_s > 0.0 && cfg.measure_every_s > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x666c_6173);
+        let mut pool = candidates.to_vec();
+        shuffle(&mut pool, &mut rng);
+
+        let n_stale = ((cfg.seeds as f64 * cfg.stale_frac).round() as usize).min(cfg.seeds - 1);
+        let n_live = cfg.seeds - n_stale;
+        let live: Vec<HostId> = pool[..n_live].to_vec();
+        let stale: Vec<HostId> = pool[n_live..cfg.seeds].to_vec();
+        let crowd: Vec<HostId> = pool[cfg.seeds..cfg.seeds + cfg.joiners].to_vec();
+
+        let mut actions = Vec::new();
+        // Live seeds join over the warmup. The first one bootstraps via
+        // fallback (nobody to discover yet); the rest discover through
+        // the already-joined seeds.
+        for &h in &live {
+            let t = rng.gen_range(0.0..cfg.warmup_s);
+            actions.push((SimTime::from_ms(t * 1000.0), Action::Join(h)));
+        }
+        actions.push((SimTime::from_ms(cfg.warmup_s * 1000.0), Action::Measure));
+
+        // The flash crowd.
+        for &h in &crowd {
+            let t = cfg.crowd_at_s + rng.gen_range(0.0..cfg.spread_s.max(1e-3));
+            actions.push((SimTime::from_ms(t * 1000.0), Action::Join(h)));
+        }
+
+        // Seed churn mid-bootstrap: crash a fraction of the live seeds
+        // while the crowd is still discovering through them.
+        let n_churn = ((n_live as f64 * cfg.seed_churn_frac).round() as usize).min(n_live - 1);
+        let t_churn = SimTime::from_ms((cfg.crowd_at_s + cfg.churn_delay_s) * 1000.0);
+        let mut churnable = live.clone();
+        shuffle(&mut churnable, &mut rng);
+        for &h in &churnable[..n_churn] {
+            actions.push((t_churn, Action::Crash(h)));
+        }
+
+        // Measurements over the settle window, plus a final snapshot.
+        let horizon = cfg.crowd_at_s + cfg.settle_s;
+        let mut k = 1usize;
+        let mut last_measure = cfg.warmup_s;
+        loop {
+            let t = cfg.crowd_at_s + k as f64 * cfg.measure_every_s;
+            if t > horizon {
+                break;
+            }
+            actions.push((SimTime::from_ms(t * 1000.0), Action::Measure));
+            last_measure = t;
+            k += 1;
+        }
+        if last_measure < horizon {
+            actions.push((SimTime::from_ms(horizon * 1000.0), Action::Measure));
+        }
+
+        let end = SimTime::from_ms((horizon + 1.0) * 1000.0);
+        let crash_seed = rng.gen();
+        let mut sc = Self::finish(actions, end, crash_seed);
+        // Everyone gets the same bootstrap set, stale entries mixed in.
+        let mut bootstrap: Vec<HostId> = live.into_iter().chain(stale).collect();
+        shuffle(&mut bootstrap, &mut rng);
+        sc.discovery = Some(DiscoveryConfig {
+            seeds: bootstrap,
+            ..cfg.discovery.clone()
+        });
+        sc
+    }
+
     /// Hand-built schedule from explicit actions (sorted and finalized
     /// like the generated scenarios). Hand-built scenarios have no
     /// generating RNG, so `crash_seed` starts at 0; set the field
@@ -309,17 +434,6 @@ impl Scenario {
     /// schedule fully determines the result. `frac` in `[0, 1]`.
     pub fn with_crashes(self, frac: f64) -> Self {
         let seed = self.crash_seed;
-        self.convert_crashes(frac, seed)
-    }
-
-    /// Old-signature shim: crash selection from a caller-supplied seed,
-    /// independent of the scenario's RNG stream.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_crashes(frac)` — crash selection now derives \
-                from the scenario's own RNG stream"
-    )]
-    pub fn with_crashes_seeded(self, frac: f64, seed: u64) -> Self {
         self.convert_crashes(frac, seed)
     }
 
@@ -351,6 +465,7 @@ impl Scenario {
             actions,
             end,
             crash_seed,
+            discovery: None,
         }
     }
 
@@ -484,21 +599,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn seeded_crash_shim_matches_old_behaviour() {
-        let cfg = ChurnConfig {
-            members: 12,
-            warmup_s: 10.0,
-            slot_s: 10.0,
-            slots: 4,
-            churn_pct: 25.0,
-        };
-        let a = Scenario::churn(&cfg, &hosts(24), 5).with_crashes_seeded(0.5, 9);
-        let b = Scenario::churn(&cfg, &hosts(24), 5).with_crashes_seeded(0.5, 9);
-        assert_eq!(a.actions, b.actions);
-    }
-
-    #[test]
     fn from_actions_sorts_and_is_crashable() {
         let acts = vec![
             (SimTime::from_secs(10), Action::Leave(HostId(1))),
@@ -593,6 +693,85 @@ mod tests {
         assert_eq!(sc.num_crashes(), 0);
         assert_eq!(sc.num_joins(), 16);
         assert!(sc.num_measures() > 0);
+    }
+
+    fn flash_cfg() -> FlashCrowdConfig {
+        FlashCrowdConfig {
+            seeds: 4,
+            stale_frac: 0.25,
+            joiners: 12,
+            warmup_s: 30.0,
+            crowd_at_s: 60.0,
+            spread_s: 5.0,
+            seed_churn_frac: 0.5,
+            churn_delay_s: 2.0,
+            settle_s: 90.0,
+            measure_every_s: 30.0,
+            discovery: DiscoveryConfig::default(),
+        }
+    }
+
+    #[test]
+    fn flash_crowd_shape_and_bootstrap_set() {
+        let sc = Scenario::flash_crowd(&flash_cfg(), &hosts(30), 11);
+        // 3 live seeds + 12 crowd joiners; 1 stale seed never joins.
+        assert_eq!(sc.num_joins(), 3 + 12);
+        // Half the live seeds (rounded) crash mid-bootstrap.
+        assert_eq!(sc.num_crashes(), 2);
+        assert_eq!(sc.num_leaves(), 0);
+        assert!(sc.num_measures() >= 3);
+        let dc = sc.discovery.as_ref().expect("bootstrap set installed");
+        assert_eq!(dc.seeds.len(), 4, "k seeds, stale included");
+        // The stale entry is in the bootstrap set but never joins.
+        let joined: std::collections::HashSet<HostId> = sc
+            .actions
+            .iter()
+            .filter_map(|(_, a)| match a {
+                Action::Join(h) => Some(*h),
+                _ => None,
+            })
+            .collect();
+        let stale: Vec<&HostId> = dc.seeds.iter().filter(|h| !joined.contains(h)).collect();
+        assert_eq!(stale.len(), 1);
+        for w in sc.actions.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(sc.end >= sc.actions.last().unwrap().0);
+    }
+
+    #[test]
+    fn flash_crowd_is_deterministic_per_seed() {
+        let a = Scenario::flash_crowd(&flash_cfg(), &hosts(30), 7);
+        let b = Scenario::flash_crowd(&flash_cfg(), &hosts(30), 7);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.discovery, b.discovery);
+        let c = Scenario::flash_crowd(&flash_cfg(), &hosts(30), 8);
+        assert_ne!(a.actions, c.actions);
+    }
+
+    #[test]
+    fn flash_crowd_keeps_a_live_seed_at_extremes() {
+        // stale_frac near 1 and full seed churn must still leave one
+        // live, uncrashed seed (the assertions clamp).
+        let cfg = FlashCrowdConfig {
+            seeds: 3,
+            stale_frac: 0.9,
+            seed_churn_frac: 1.0,
+            ..flash_cfg()
+        };
+        let sc = Scenario::flash_crowd(&cfg, &hosts(30), 5);
+        // 2 stale (clamped to k-1), 1 live seed, 0 crashes (clamped to
+        // n_live-1 = 0).
+        assert_eq!(sc.num_joins(), 1 + 12);
+        assert_eq!(sc.num_crashes(), 0);
+    }
+
+    #[test]
+    fn generated_scenarios_carry_no_discovery_by_default() {
+        let sc = Scenario::growth(5, 2, 100.0, &hosts(10), 1);
+        assert!(sc.discovery.is_none());
+        let sc = Scenario::soak(&soak_cfg(), &hosts(16), 1);
+        assert!(sc.discovery.is_none());
     }
 
     #[test]

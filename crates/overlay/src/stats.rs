@@ -148,6 +148,23 @@ pub struct RecoveryStats {
     /// to the receiver's stripe (must stay 0; counted rather than
     /// dropped silently so tests can assert the invariant).
     pub cross_stripe_violations: u64,
+    /// Bootstrap-discovery probes sent (`PeerReq`; discovery extension,
+    /// 0 when the mechanism is off).
+    pub bootstrap_contacts: u64,
+    /// Discovery episodes that found a live walk anchor, as
+    /// `(found_at_s, took_s)`: when the anchor was chosen and how long
+    /// after the first probe round (time-to-first-anchor).
+    pub discovery_anchors: Vec<(f64, f64)>,
+    /// Probes that timed out against a stale/dead view entry (the entry
+    /// is retired on the spot).
+    pub stale_peer_hits: u64,
+    /// Discovery episodes that exhausted their view or round budget and
+    /// fell back to the plain source-anchored walk.
+    pub discovery_fallbacks: u64,
+    /// `PeerReq` probes answered out of the serving budget.
+    pub peer_reqs_served: u64,
+    /// `PeerReq` probes shed (responder unattached or budget dry).
+    pub peer_reqs_dropped: u64,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -189,6 +206,17 @@ impl RecoveryStats {
     /// see [`RecoveryStats::reconnect_median`]).
     pub fn gap_median(&self) -> f64 {
         median(self.delivery_gaps.iter().map(|&(_, d)| d).collect())
+    }
+
+    /// Summary of time-to-first-anchor durations (discovery extension).
+    pub fn anchor_summary(&self) -> Summary {
+        Summary::of(self.discovery_anchors.iter().map(|&(_, d)| d))
+    }
+
+    /// Median time-to-first-anchor (NaN when discovery never chose an
+    /// anchor; see [`RecoveryStats::reconnect_median`]).
+    pub fn anchor_median(&self) -> f64 {
+        median(self.discovery_anchors.iter().map(|&(_, d)| d).collect())
     }
 
     /// Total structural errors observed across all measurement slots.
@@ -308,6 +336,12 @@ impl RunStats {
             "recovery.cross_stripe_violations",
             r.cross_stripe_violations,
         );
+        m.counter_add("discovery.bootstrap_contacts", r.bootstrap_contacts);
+        m.counter_add("discovery.anchors", r.discovery_anchors.len() as u64);
+        m.counter_add("discovery.stale_peer_hits", r.stale_peer_hits);
+        m.counter_add("discovery.fallbacks", r.discovery_fallbacks);
+        m.counter_add("discovery.peer_reqs_served", r.peer_reqs_served);
+        m.counter_add("discovery.peer_reqs_dropped", r.peer_reqs_dropped);
         // Fixed buckets in seconds: sub-second failover through
         // walk-scale (tens of seconds) recovery.
         const SECS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0];
@@ -317,6 +351,10 @@ impl RunStats {
         }
         let h = m.histogram("recovery.gap_s", SECS);
         for &(_, d) in &r.delivery_gaps {
+            h.observe(d);
+        }
+        let h = m.histogram("discovery.first_anchor_s", SECS);
+        for &(_, d) in &r.discovery_anchors {
             h.observe(d);
         }
     }
@@ -389,6 +427,12 @@ mod tests {
         rs.recovery.orphan_events = 3;
         rs.recovery.reconnections = vec![(10.0, 0.7), (20.0, 12.0)];
         rs.recovery.nacks_sent = 5;
+        rs.recovery.bootstrap_contacts = 7;
+        rs.recovery.discovery_anchors = vec![(5.0, 0.4)];
+        rs.recovery.stale_peer_hits = 2;
+        rs.recovery.discovery_fallbacks = 1;
+        rs.recovery.peer_reqs_served = 6;
+        rs.recovery.peer_reqs_dropped = 3;
         let mut m = vdm_trace::MetricsRegistry::new();
         rs.export_metrics(&mut m);
         assert_eq!(m.counter("recovery.orphan_events"), 3);
@@ -398,6 +442,14 @@ mod tests {
         assert_eq!(m.gauge("run.overall_loss"), Some(0.0));
         let h = m.get_histogram("recovery.reconnect_s").unwrap();
         assert_eq!(h.count(), 2);
+        assert_eq!(m.counter("discovery.bootstrap_contacts"), 7);
+        assert_eq!(m.counter("discovery.anchors"), 1);
+        assert_eq!(m.counter("discovery.stale_peer_hits"), 2);
+        assert_eq!(m.counter("discovery.fallbacks"), 1);
+        assert_eq!(m.counter("discovery.peer_reqs_served"), 6);
+        assert_eq!(m.counter("discovery.peer_reqs_dropped"), 3);
+        let h = m.get_histogram("discovery.first_anchor_s").unwrap();
+        assert_eq!(h.count(), 1);
     }
 
     #[test]
@@ -407,8 +459,11 @@ mod tests {
             reconnections: vec![(100.0, 2.0), (150.0, 4.0)],
             delivery_gaps: vec![(101.0, 6.0)],
             invariant_violations: vec![(60.0, 1), (120.0, 2)],
+            discovery_anchors: vec![(10.0, 1.0), (11.0, 3.0)],
             ..RecoveryStats::default()
         };
+        assert_eq!(r.anchor_summary().mean, 2.0);
+        assert_eq!(r.anchor_median(), 2.0);
         assert_eq!(r.reconnect_summary().mean, 3.0);
         assert_eq!(r.reconnect_summary().count, 2);
         assert_eq!(r.reconnect_median(), 3.0);
@@ -425,6 +480,7 @@ mod tests {
         let empty = RecoveryStats::default();
         assert!(empty.reconnect_median().is_nan());
         assert!(empty.gap_median().is_nan());
+        assert!(empty.anchor_median().is_nan());
         let s = Summary::of([empty.reconnect_median(), 2.0, 4.0]);
         assert_eq!(s.count, 2);
         assert_eq!(s.mean, 3.0);

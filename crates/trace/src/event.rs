@@ -182,6 +182,31 @@ pub enum TraceEvent {
         /// Hit (`true`) or miss (`false`).
         hit: bool,
     },
+    /// A bootstrap-discovery round fired `PeerReq` probes at view
+    /// entries.
+    DiscoveryRound {
+        /// The bootstrapping host.
+        host: u32,
+        /// 1-based round index within the join episode.
+        round: u32,
+        /// Probes fired this round.
+        fanout: u32,
+    },
+    /// Discovery chose a verified-live walk anchor.
+    DiscoveryAnchor {
+        /// The bootstrapping host.
+        host: u32,
+        /// The peer whose answered probe makes it the walk anchor.
+        anchor: u32,
+        /// Seconds from the first probe round to the anchor.
+        took_s: f64,
+    },
+    /// Discovery exhausted its view or round budget; the join falls
+    /// back to the plain source-anchored walk.
+    DiscoveryFallback {
+        /// The bootstrapping host.
+        host: u32,
+    },
     /// An event attributed to one tree of a multi-tree session. The
     /// serialized record keeps the inner event's `kind` and fields and
     /// adds a `tree` field, so single-tree consumers and host filters
@@ -213,6 +238,9 @@ impl TraceEvent {
             TraceEvent::AdmissionShed { .. } => "admission_shed",
             TraceEvent::FaultApplied { .. } => "fault_applied",
             TraceEvent::CacheLookup { .. } => "cache_lookup",
+            TraceEvent::DiscoveryRound { .. } => "discovery_round",
+            TraceEvent::DiscoveryAnchor { .. } => "discovery_anchor",
+            TraceEvent::DiscoveryFallback { .. } => "discovery_fallback",
             TraceEvent::Tagged { inner, .. } => inner.kind(),
         }
     }
@@ -323,6 +351,27 @@ impl TraceEvent {
                 extra_us,
             },
             ev @ TraceEvent::CacheLookup { .. } => ev,
+            TraceEvent::DiscoveryRound {
+                host,
+                round,
+                fanout,
+            } => TraceEvent::DiscoveryRound {
+                host: f(host),
+                round,
+                fanout,
+            },
+            TraceEvent::DiscoveryAnchor {
+                host,
+                anchor,
+                took_s,
+            } => TraceEvent::DiscoveryAnchor {
+                host: f(host),
+                anchor: f(anchor),
+                took_s,
+            },
+            TraceEvent::DiscoveryFallback { host } => {
+                TraceEvent::DiscoveryFallback { host: f(host) }
+            }
             TraceEvent::Tagged { tree, inner } => TraceEvent::Tagged {
                 tree,
                 inner: Box::new(inner.map_hosts(f)),
@@ -449,6 +498,27 @@ impl TraceEvent {
             }
             TraceEvent::CacheLookup { domain, hit } => {
                 w.str("domain", domain).bool("hit", *hit);
+            }
+            TraceEvent::DiscoveryRound {
+                host,
+                round,
+                fanout,
+            } => {
+                w.u64("host", *host as u64)
+                    .u64("round", *round as u64)
+                    .u64("fanout", *fanout as u64);
+            }
+            TraceEvent::DiscoveryAnchor {
+                host,
+                anchor,
+                took_s,
+            } => {
+                w.u64("host", *host as u64)
+                    .u64("anchor", *anchor as u64)
+                    .f64("took_s", *took_s);
+            }
+            TraceEvent::DiscoveryFallback { host } => {
+                w.u64("host", *host as u64);
             }
             TraceEvent::Tagged { tree, inner } => {
                 w.u64("tree", *tree as u64);
@@ -579,6 +649,17 @@ mod tests {
                 domain: "topology/ch3".into(),
                 hit: true,
             },
+            TraceEvent::DiscoveryRound {
+                host: 1,
+                round: 2,
+                fanout: 2,
+            },
+            TraceEvent::DiscoveryAnchor {
+                host: 1,
+                anchor: 6,
+                took_s: 0.75,
+            },
+            TraceEvent::DiscoveryFallback { host: 1 },
             TraceEvent::Tagged {
                 tree: 2,
                 inner: Box::new(TraceEvent::ChunkRepaired { host: 1, seq: 42 }),
