@@ -134,6 +134,32 @@ impl WalkPolicy for VdmPolicy {
         source
     }
 
+    fn restart_anchor(
+        &self,
+        visited: &[HostId],
+        coord_dist: Option<&[VDist]>,
+        fallback: HostId,
+    ) -> HostId {
+        // Coordinate damping: a Case-III restart resumes from the
+        // visited ancestor whose virtual coordinate is nearest the
+        // joiner, deepest on ties, instead of unconditionally backing
+        // up to the deepest one. Without coordinates (or with none
+        // finite) this is exactly the deepest-visited default.
+        let Some(dists) = coord_dist else {
+            return visited.last().copied().unwrap_or(fallback);
+        };
+        let mut best: Option<(VDist, usize)> = None;
+        for (i, &d) in dists.iter().enumerate().take(visited.len()) {
+            if d.is_finite() && best.is_none_or(|(bd, _)| d <= bd) {
+                best = Some((d, i));
+            }
+        }
+        match best {
+            Some((_, i)) => visited[i],
+            None => visited.last().copied().unwrap_or(fallback),
+        }
+    }
+
     fn classify_for_trace(&self, p: &ProbeResult) -> Vec<(HostId, vdm_trace::CaseClass)> {
         p.children
             .iter()
@@ -341,6 +367,25 @@ mod tests {
             ]
         );
         assert_eq!(p.decide_t(&pr), WalkStep::Descend(HostId(1)));
+    }
+
+    #[test]
+    fn restart_anchor_picks_coord_nearest_deepest_on_ties() {
+        let p = VdmPolicy::delay_based();
+        let visited = [HostId(1), HostId(2), HostId(3), HostId(4)];
+        // No coordinates: deepest visited (pre-coordinate behavior).
+        assert_eq!(p.restart_anchor(&visited, None, HostId(0)), HostId(4));
+        // Nearest-by-coordinate wins over deepest.
+        let d = [3.0, 1.0, 9.0, 2.0];
+        assert_eq!(p.restart_anchor(&visited, Some(&d), HostId(0)), HostId(2));
+        // Tie on distance: the deeper (later-visited) ancestor wins.
+        let d = [3.0, 1.0, 9.0, 1.0];
+        assert_eq!(p.restart_anchor(&visited, Some(&d), HostId(0)), HostId(4));
+        // All-unknown distances fall back to deepest visited.
+        let d = [f64::INFINITY; 4];
+        assert_eq!(p.restart_anchor(&visited, Some(&d), HostId(0)), HostId(4));
+        // Empty history falls back to the supplied anchor.
+        assert_eq!(p.restart_anchor(&[], Some(&[]), HostId(7)), HostId(7));
     }
 
     // ------------------------------------------------------------------

@@ -281,6 +281,21 @@ fn run_scale(opts: &Opts, smoke: bool) -> io::Result<()> {
     let path = format!("{dir}/BENCH_scale.json");
     std::fs::write(&path, &json).map_err(io_ctx(format!("writing scale report `{path}`")))?;
     println!("  [json] {path}");
+    // Coordinate-guided joins must cut contacts without degrading the
+    // tree where the knee lives: fail the run when the guided series
+    // costs more than 2% stretch over plain VDM at the largest
+    // population in the sweep (at toy sizes guided deliberately trades
+    // a small stretch premium for its contact savings — you would not
+    // enable guidance there, and the async stack ships it default-off).
+    if let [.., vdm, guided, _] = report.points.as_slice() {
+        assert_eq!((vdm.protocol, guided.protocol), ("vdm", "vdm_guided"));
+        if vdm.n >= 5000 && guided.stretch_mean > vdm.stretch_mean * 1.02 {
+            return Err(io::Error::other(format!(
+                "guided stretch regression at N={}: {:.4} vs plain {:.4}",
+                vdm.n, guided.stretch_mean, vdm.stretch_mean
+            )));
+        }
+    }
     println!("[done scale in {:.1?}]", t0.elapsed());
     Ok(())
 }

@@ -9,6 +9,7 @@
 //! overlays need; the paper's simulator sidesteps it by making leaves
 //! atomic).
 
+use crate::coords::{CoordSample, CoordsConfig, VivaldiState};
 use crate::msg::{ChildEntry, ConnKind, ConnResult, Msg};
 use crate::peer::PeerState;
 use crate::repair::{ChunkClass, GapTracker, RepairConfig, RetransmitRing};
@@ -66,6 +67,10 @@ pub struct ResilienceConfig {
     pub failover_timeout: SimTime,
     /// Direct attempts before giving up and walking.
     pub max_attempts: usize,
+    /// Order failover targets by virtual-coordinate distance instead of
+    /// measured-vdist-then-ancestor order (coordinate-embedding
+    /// extension; only effective when the agent runs an embedding).
+    pub coord_ranked: bool,
 }
 
 impl Default for ResilienceConfig {
@@ -76,6 +81,7 @@ impl Default for ResilienceConfig {
             candidate_ttl: SimTime::from_secs(180),
             failover_timeout: SimTime::from_secs(2),
             max_attempts: 3,
+            coord_ranked: false,
         }
     }
 }
@@ -161,6 +167,10 @@ pub struct AgentConfig {
     /// the whole cross-tree path in single-tree runs). Requires
     /// `repair` to be set as well.
     pub cross_repair: Option<AdmissionConfig>,
+    /// Vivaldi-style virtual-coordinate embedding (coordinate-guided
+    /// joins). `None` — the default — keeps every pre-coordinate byte
+    /// sequence: no piggyback fields, no state, no extra RNG draws.
+    pub coords: Option<CoordsConfig>,
 }
 
 impl Default for AgentConfig {
@@ -179,6 +189,7 @@ impl Default for AgentConfig {
             admission: None,
             repair: None,
             cross_repair: None,
+            coords: None,
         }
     }
 }
@@ -388,7 +399,18 @@ pub struct ProtocolAgent<P: WalkPolicy> {
     /// Bootstrap-discovery state (`None` keeps the omniscient
     /// source-anchored join byte-identical to pre-discovery runs).
     discovery: Option<crate::discovery::DiscoveryState>,
+    /// The host's own Vivaldi state (`None` when the embedding is off).
+    /// Handed to each walk by value and copied back on walk finish —
+    /// only walks measure RTTs, so no updates race the copy.
+    vivaldi: Option<VivaldiState>,
+    /// Last piggybacked coordinate sample per peer, bounded; feeds
+    /// failover-target ranking and gossip coord attachment.
+    peer_coords: Vec<(HostId, CoordSample)>,
 }
+
+/// Bound on [`ProtocolAgent::peer_coords`]: oldest entries are evicted
+/// first. Sized to a few view/candidate sets' worth of peers.
+const PEER_COORD_CAP: usize = 64;
 
 impl<P: WalkPolicy> ProtocolAgent<P> {
     /// New agent.
@@ -432,6 +454,8 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             cross_tokens: cfg.cross_repair.map_or(0.0, |a| a.burst),
             cross_refilled_at: SimTime::ZERO,
             discovery: None,
+            vivaldi: cfg.coords.map(|c| VivaldiState::new(&c)),
+            peer_coords: Vec::new(),
         }
     }
 
@@ -514,6 +538,41 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         }
     }
 
+    /// Our current coordinate sample for piggyback fields (`None` when
+    /// the embedding is off — the field then serializes as absent and
+    /// the message bytes match pre-coordinate builds).
+    fn coord_sample(&self) -> Option<CoordSample> {
+        self.vivaldi.map(|s| s.sample())
+    }
+
+    /// Cache a peer's piggybacked coordinate sample (bounded,
+    /// most-recent wins) and mirror it into the discovery view so
+    /// gossip forwards it.
+    fn note_peer_coord(&mut self, h: HostId, sample: CoordSample) {
+        if h == self.state.host {
+            return;
+        }
+        if let Some(e) = self.peer_coords.iter_mut().find(|(p, _)| *p == h) {
+            e.1 = sample;
+        } else {
+            if self.peer_coords.len() >= PEER_COORD_CAP {
+                self.peer_coords.remove(0);
+            }
+            self.peer_coords.push((h, sample));
+        }
+        if let Some(d) = self.discovery.as_mut() {
+            d.note_coord(h, sample);
+        }
+    }
+
+    /// The last coordinate sample heard from `h`, if any.
+    fn peer_coord_of(&self, h: HostId) -> Option<CoordSample> {
+        self.peer_coords
+            .iter()
+            .find(|(p, _)| *p == h)
+            .map(|&(_, s)| s)
+    }
+
     /// Fold a walk's probe measurements into the ranked backup-parent
     /// candidate set (cheapest-first, freshness-stamped, bounded).
     fn merge_candidates(&mut self, harvest: &[(HostId, crate::VDist)], now: SimTime) {
@@ -572,6 +631,22 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             }
             targets.push_back((a, crate::VDist::INFINITY));
         }
+        if let (true, Some(v)) = (r.coord_ranked, self.vivaldi) {
+            // Coordinate-ranked failover: try the target the embedding
+            // predicts nearest first. Stable sort with unknown-sample
+            // targets at INFINITY, so peers we never heard a coordinate
+            // from keep their candidate/ancestor order among themselves.
+            let me_coord = v.coord;
+            let dist = |h: HostId| {
+                self.peer_coords
+                    .iter()
+                    .find(|(p, _)| *p == h)
+                    .map_or(f64::INFINITY, |&(_, s)| me_coord.dist(s.coord))
+            };
+            let mut v: Vec<(HostId, crate::VDist)> = targets.into();
+            v.sort_by(|a, b| dist(a.0).total_cmp(&dist(b.0)));
+            targets = v.into();
+        }
         targets.truncate(r.max_attempts);
         if targets.is_empty() {
             return false;
@@ -626,12 +701,14 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
                 target: target.0,
                 attempt,
             });
+            let coord = self.coord_sample();
             ctx.send(
                 target,
                 Msg::ConnReq {
                     nonce,
                     kind: ConnKind::Child,
                     vdist,
+                    coord,
                 },
             );
             ctx.timer(r.failover_timeout, FAILOVER_TOKEN_BIT | nonce);
@@ -957,6 +1034,10 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         } else {
             None
         };
+        let coords = match (self.vivaldi, self.cfg.coords) {
+            (Some(s), Some(c)) => Some((s, c)),
+            _ => None,
+        };
         let w = Walk::start(
             purpose,
             start,
@@ -965,6 +1046,7 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             self.cfg.walk,
             self.gen_next,
             baseline,
+            coords,
             ctx,
         );
         self.gen_next = w.generation() + 1_000_000; // room for this walk's nonces
@@ -1000,12 +1082,13 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
     /// unchanged).
     fn discovery_fire(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        let self_coord = self.vivaldi.map(|v| v.coord);
         let (targets, round, timeout, backoff, jitter) = {
             let d = self
                 .discovery
                 .as_mut()
                 .expect("discovery_fire without state");
-            let targets = d.begin_round(now);
+            let targets = d.begin_round_from(now, self_coord);
             let c = d.cfg();
             (
                 targets,
@@ -1066,10 +1149,22 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         }
         ctx.stats.recovery.peer_reqs_served += 1;
         let children: Vec<HostId> = self.state.children.iter().map(|&(c, _)| c).collect();
-        let peers = d
-            .share(me, from, self.state.parent, &children, now)
+        let shared = d.share(me, from, self.state.parent, &children, now);
+        let coords_on = self.vivaldi.is_some();
+        let peers = shared
             .into_iter()
-            .map(|(host, age_s)| crate::msg::PeerEntry { host, age_s })
+            .map(|(host, age_s)| crate::msg::PeerEntry {
+                host,
+                age_s,
+                // Only attach samples when our own embedding runs, so a
+                // coords-off responder gossips byte-identical entries.
+                coord: if coords_on {
+                    self.peer_coord_of(host)
+                        .or_else(|| self.discovery.as_ref().and_then(|d| d.coord_of(host)))
+                } else {
+                    None
+                },
+            })
             .collect();
         ctx.send(from, Msg::PeerList { nonce, peers });
     }
@@ -1096,11 +1191,15 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         d.observe_at(from, me, now);
         for p in peers {
             d.observe_aged(p.host, me, p.age_s, now);
+            if let Some(s) = p.coord {
+                d.note_coord(p.host, s);
+            }
         }
         if d.finished() {
             return; // late answer: keep the gossip, anchor already chosen
         }
         d.finish();
+        let guided = d.cfg().coord_ranked && self.vivaldi.is_some();
         let took = now.saturating_sub(d.started_at().unwrap_or(now)).as_secs();
         ctx.stats
             .recovery
@@ -1112,6 +1211,15 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
             took_s: took,
         });
         if self.walk.is_none() && !self.state.connected() {
+            if guided {
+                // The probe order was coordinate-ranked, so the first
+                // live responder is the nearest anchor the view offers.
+                ctx.stats.recovery.guided_entries += 1;
+                ctx.trace(|| vdm_trace::TraceEvent::GuidedEntry {
+                    host: ctx.me.0,
+                    anchor: from.0,
+                });
+            }
             self.start_walk(ctx, WalkPurpose::Join, from);
         }
     }
@@ -1239,6 +1347,12 @@ impl<P: WalkPolicy> ProtocolAgent<P> {
         let walk = self.walk.take().expect("finishing an active walk");
         if self.cfg.resilience.is_some() {
             self.merge_candidates(walk.harvest(), ctx.now());
+        }
+        if let Some(s) = walk.coord_state() {
+            self.vivaldi = Some(s);
+            for &(h, sample) in walk.coord_harvest() {
+                self.note_peer_coord(h, sample);
+            }
         }
         match outcome {
             WalkOutcome::Connected {
@@ -1495,7 +1609,10 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: Msg) {
         match msg {
-            Msg::Ping { nonce } => ctx.send(from, Msg::Pong { nonce }),
+            Msg::Ping { nonce } => {
+                let coord = self.coord_sample();
+                ctx.send(from, Msg::Pong { nonce, coord })
+            }
             Msg::InfoReq { nonce } => {
                 let children = self
                     .state
@@ -1509,10 +1626,19 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                         nonce,
                         children,
                         parent: self.state.parent,
+                        coord: self.coord_sample(),
                     },
                 );
             }
-            Msg::ConnReq { nonce, kind, vdist } => {
+            Msg::ConnReq {
+                nonce,
+                kind,
+                vdist,
+                coord,
+            } => {
+                if let Some(s) = coord {
+                    self.note_peer_coord(from, s);
+                }
                 self.handle_conn_req(ctx, from, nonce, kind, vdist)
             }
             m @ (Msg::InfoResp { .. } | Msg::Pong { .. } | Msg::ConnResp { .. }) => {
@@ -2046,6 +2172,7 @@ mod tests {
                     vdist: 4.0
                 }],
                 parent: Some(HostId(1)),
+                coord: None,
             }]
         );
     }
@@ -2054,7 +2181,13 @@ mod tests {
     fn ping_pong() {
         let (mut eng, mut w) = connected_agent();
         inject(&mut eng, &mut w, HostId(4), Msg::Ping { nonce: 3 });
-        assert_eq!(take_to(&mut w, HostId(4)), vec![Msg::Pong { nonce: 3 }]);
+        assert_eq!(
+            take_to(&mut w, HostId(4)),
+            vec![Msg::Pong {
+                nonce: 3,
+                coord: None
+            }]
+        );
     }
 
     #[test]
@@ -2069,6 +2202,7 @@ mod tests {
                 nonce: 1,
                 kind: ConnKind::Child,
                 vdist: 6.0,
+                coord: None,
             },
         );
         let sent = take_to(&mut w, HostId(5));
@@ -2089,6 +2223,7 @@ mod tests {
                 nonce: 2,
                 kind: ConnKind::Child,
                 vdist: 8.0,
+                coord: None,
             },
         );
         let sent = take_to(&mut w, HostId(6));
@@ -2112,6 +2247,7 @@ mod tests {
                 nonce: 7,
                 kind: ConnKind::Child,
                 vdist: 1.0,
+                coord: None,
             },
         );
         assert_eq!(
@@ -2137,6 +2273,7 @@ mod tests {
                     displace: vec![HostId(3), HostId(6)], // 6 is not ours
                 },
                 vdist: 2.0,
+                coord: None,
             },
         );
         let sent = take_to(&mut w, HostId(5));
@@ -2241,6 +2378,7 @@ mod tests {
                 nonce: 4,
                 kind: ConnKind::Child,
                 vdist: 1.0,
+                coord: None,
             },
         );
         assert_eq!(
@@ -2264,6 +2402,7 @@ mod tests {
                 nonce: 4,
                 kind: ConnKind::Child,
                 vdist: 1.0,
+                coord: None,
             },
         );
         assert_eq!(
@@ -2364,6 +2503,7 @@ mod tests {
                     vdist: 12.0,
                 }],
                 parent: None,
+                coord: None,
             },
         );
         // The walk pings the child.
@@ -2375,7 +2515,10 @@ mod tests {
             &mut eng,
             &mut w,
             HostId(3),
-            Msg::Pong { nonce: *ping_nonce },
+            Msg::Pong {
+                nonce: *ping_nonce,
+                coord: None,
+            },
         );
         // Policy (Attach) fires a ConnReq at the source.
         let conn = take_to(&mut w, HostId(7));
@@ -2473,6 +2616,7 @@ mod tests {
                     },
                 ],
                 parent: None,
+                coord: None,
             },
         );
         // Only child 3 pongs; child 4 stays silent.
@@ -2481,7 +2625,15 @@ mod tests {
             panic!("expected Ping to h3");
         };
         let _ = take_to(&mut w, HostId(4));
-        inject(&mut eng, &mut w, HostId(3), Msg::Pong { nonce: *n3 });
+        inject(
+            &mut eng,
+            &mut w,
+            HostId(3),
+            Msg::Pong {
+                nonce: *n3,
+                coord: None,
+            },
+        );
         // Let the probe deadline fire; the walk proceeds with child 3
         // only and (policy = Attach) sends a ConnReq to the source.
         eng.run(&mut w, SimTime::from_secs(5));
@@ -2649,6 +2801,7 @@ mod tests {
                 nonce: 1,
                 kind: ConnKind::Child,
                 vdist: 5.0,
+                coord: None,
             },
         );
         assert!(
@@ -2663,6 +2816,7 @@ mod tests {
                 nonce: 2,
                 kind: ConnKind::Child,
                 vdist: 6.0,
+                coord: None,
             },
         );
         assert!(
@@ -2874,6 +3028,7 @@ mod tests {
                 nonce: 5,
                 kind: ConnKind::Child,
                 vdist: 1.0,
+                coord: None,
             },
         );
         assert_eq!(

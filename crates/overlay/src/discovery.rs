@@ -22,6 +22,7 @@
 //! no RNG draws, timers, or messages happen otherwise, so runs without
 //! discovery stay byte-identical per seed.
 
+use crate::coords::{Coord, CoordSample};
 use vdm_netsim::{HostId, SimTime};
 
 /// Bootstrap-discovery tunables plus the seed peer set. Carried by
@@ -59,6 +60,13 @@ pub struct DiscoveryConfig {
     pub serve_burst: f64,
     /// Peers shared per `PeerList` reply.
     pub gossip_fanout: usize,
+    /// Rank probe targets by virtual-coordinate distance instead of
+    /// freshness (coordinate-embedding extension). Only effective when
+    /// the agent also runs an embedding; the joiner then probes its
+    /// coordinate-nearest view entries first, so the first live
+    /// responder — the walk anchor — is already near the joiner's
+    /// predicted tree region.
+    pub coord_ranked: bool,
 }
 
 impl Default for DiscoveryConfig {
@@ -75,6 +83,7 @@ impl Default for DiscoveryConfig {
             serve_rate_per_s: 4.0,
             serve_burst: 8.0,
             gossip_fanout: 6,
+            coord_ranked: false,
         }
     }
 }
@@ -88,6 +97,9 @@ struct ViewEntry {
     /// Probed in the current pass over the view (cleared when every
     /// entry has been tried and rounds remain).
     tried: bool,
+    /// The peer's last gossiped coordinate sample (`None` when the
+    /// embedding is off or no sample has arrived yet).
+    coord: Option<CoordSample>,
 }
 
 /// Per-agent discovery state: the gossiped partial view, the in-flight
@@ -183,6 +195,7 @@ impl DiscoveryState {
             host,
             seen_at: at,
             tried: false,
+            coord: None,
         });
         if self.view.len() > self.cfg.view_size {
             // Evict the oldest entry (ties broken by host id so the
@@ -202,6 +215,23 @@ impl DiscoveryState {
     pub fn observe_aged(&mut self, host: HostId, me: HostId, age_s: f64, now: SimTime) {
         let age = SimTime::from_ms((age_s * 1000.0).max(0.0));
         self.observe_at(host, me, now.saturating_sub(age));
+    }
+
+    /// Attach a gossiped coordinate sample to `host`'s view entry, if
+    /// one exists (silently dropped otherwise — the view's capacity
+    /// policy is freshness-only and coordinates never pin an entry).
+    pub fn note_coord(&mut self, host: HostId, sample: CoordSample) {
+        if let Some(e) = self.view.iter_mut().find(|e| e.host == host) {
+            e.coord = Some(sample);
+        }
+    }
+
+    /// The last gossiped coordinate sample of `host`, if any.
+    pub fn coord_of(&self, host: HostId) -> Option<CoordSample> {
+        self.view
+            .iter()
+            .find(|e| e.host == host)
+            .and_then(|e| e.coord)
     }
 
     /// Drop entries unseen for longer than `max_age`.
@@ -224,6 +254,16 @@ impl DiscoveryState {
     /// Returns the empty vector when the round budget or the view is
     /// exhausted: the caller falls back to the source walk.
     pub fn begin_round(&mut self, now: SimTime) -> Vec<HostId> {
+        self.begin_round_from(now, None)
+    }
+
+    /// [`DiscoveryState::begin_round`] with an optional joiner
+    /// coordinate: when `coord_ranked` is set and a coordinate is
+    /// supplied, untried entries are probed nearest-first (entries
+    /// without a sample last, freshest-first among equals) instead of
+    /// purely freshest-first, so the first live responder is already
+    /// near the joiner's predicted region.
+    pub fn begin_round_from(&mut self, now: SimTime, self_coord: Option<Coord>) -> Vec<HostId> {
         if self.round >= self.cfg.max_rounds {
             return Vec::new();
         }
@@ -239,8 +279,22 @@ impl DiscoveryState {
         let mut order: Vec<usize> = (0..self.view.len())
             .filter(|&i| !self.view[i].tried)
             .collect();
+        let ranked = if self.cfg.coord_ranked {
+            self_coord
+        } else {
+            None
+        };
         order.sort_by(|&a, &b| {
             let (ea, eb) = (&self.view[a], &self.view[b]);
+            if let Some(c) = ranked {
+                let da = ea.coord.map_or(f64::INFINITY, |s| c.dist(s.coord));
+                let db = eb.coord.map_or(f64::INFINITY, |s| c.dist(s.coord));
+                if let o @ (std::cmp::Ordering::Less | std::cmp::Ordering::Greater) =
+                    da.total_cmp(&db)
+                {
+                    return o;
+                }
+            }
             (eb.seen_at, ea.host.0).cmp(&(ea.seen_at, eb.host.0))
         });
         order.truncate(self.cfg.fanout.max(1));
@@ -458,6 +512,31 @@ mod tests {
         assert!(peers.contains(&(HostId(6), 0.0)));
         assert!(peers.iter().any(|&(h, a)| h == HostId(5) && a == 10.0));
         assert!(!peers.iter().any(|&(h, _)| h == HostId(4)));
+    }
+
+    #[test]
+    fn coord_ranked_rounds_probe_nearest_first() {
+        let mut c = cfg(&[1, 2, 3]);
+        c.coord_ranked = true;
+        c.fanout = 2;
+        let mut d = DiscoveryState::new(&c, ME, SimTime::ZERO);
+        let at = |x: f64| CoordSample {
+            coord: Coord([x, 0.0, 0.0, 0.0]),
+            err: 0.3,
+        };
+        d.note_coord(HostId(2), at(1.0));
+        d.note_coord(HostId(3), at(5.0));
+        // Host 1 has no sample and must sort last despite equal age.
+        let t = SimTime::from_secs(1);
+        let r = d.begin_round_from(t, Some(Coord::ZERO));
+        assert_eq!(r, vec![HostId(2), HostId(3)]);
+        assert_eq!(d.begin_round_from(t, Some(Coord::ZERO)), vec![HostId(1)]);
+        // Without a joiner coordinate the freshest-first order stands.
+        let mut d2 = DiscoveryState::new(&c, ME, SimTime::ZERO);
+        d2.note_coord(HostId(3), at(0.1));
+        assert_eq!(d2.begin_round(t), vec![HostId(1), HostId(2)]);
+        assert_eq!(d2.coord_of(HostId(3)), Some(at(0.1)));
+        assert_eq!(d2.coord_of(HostId(1)), None);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`discovery`] — decentralized bootstrap membership: iterative peer
 //!   discovery from a small seed set over a gossiped partial view, so a
 //!   walk can start from a discovered live anchor instead of the source;
+//! * [`coords`] — a Vivaldi-style virtual-coordinate embedding
+//!   maintained piggyback on walk/gossip traffic; joiners rank anchors
+//!   by coordinate distance and enter the walk mid-tree;
 //! * [`tree`] — global tree snapshots and structural validation;
 //! * [`sync`] — a synchronous oracle executor that runs the *same*
 //!   policies against exact distances (used by unit tests, the MST
@@ -35,6 +38,7 @@
 //! * [`stats`] — run statistics and measurement records.
 
 pub mod agent;
+pub mod coords;
 pub mod discovery;
 pub mod driver;
 pub mod metrics;
@@ -49,6 +53,7 @@ pub mod tree;
 pub mod walk;
 
 pub use agent::{AdmissionConfig, AgentConfig, Ctx, OverlayAgent, ProtocolAgent, ResilienceConfig};
+pub use coords::{Coord, CoordSample, CoordTable, CoordsConfig, VivaldiState};
 pub use discovery::{DiscoveryConfig, DiscoveryState};
 pub use driver::{Driver, DriverConfig, RunOutput};
 pub use metrics::TreeMetrics;

@@ -8,6 +8,7 @@
 //! request; we keep probing explicit so that a joiner can probe many
 //! children in parallel, which is what both VDM and HMTP do).
 
+use crate::coords::CoordSample;
 use crate::VDist;
 use vdm_netsim::HostId;
 
@@ -32,6 +33,10 @@ pub struct PeerEntry {
     /// Seconds since the sender last heard of that peer (0 for the
     /// sender's own live tree neighbours).
     pub age_s: f64,
+    /// The peer's last gossiped virtual coordinate, when the sender
+    /// knows one (coordinate embedding extension; always `None` when
+    /// the embedding is off, keeping gossip byte-identical).
+    pub coord: Option<CoordSample>,
 }
 
 /// How a joiner wants to connect.
@@ -95,6 +100,9 @@ pub enum Msg {
         children: Vec<ChildEntry>,
         /// The queried node's parent (used by diagnostics and BTP).
         parent: Option<HostId>,
+        /// The responder's virtual coordinate + error (coordinate
+        /// embedding extension; `None` when the embedding is off).
+        coord: Option<CoordSample>,
     },
     /// RTT probe.
     Ping {
@@ -105,6 +113,9 @@ pub enum Msg {
     Pong {
         /// Echoed probe id.
         nonce: u64,
+        /// The responder's virtual coordinate + error (coordinate
+        /// embedding extension; `None` when the embedding is off).
+        coord: Option<CoordSample>,
     },
     /// Ask to connect.
     ConnReq {
@@ -115,6 +126,9 @@ pub enum Msg {
         /// The joiner's measured virtual distance to the target, which
         /// the target stores as its distance to the new child.
         vdist: VDist,
+        /// The joiner's virtual coordinate + error (coordinate
+        /// embedding extension; `None` when the embedding is off).
+        coord: Option<CoordSample>,
     },
     /// Reply to [`Msg::ConnReq`].
     ConnResp {
@@ -238,7 +252,8 @@ mod tests {
             nonce: 1,
             peers: vec![PeerEntry {
                 host: HostId(2),
-                age_s: 0.0
+                age_s: 0.0,
+                coord: None
             }]
         }
         .is_data());
@@ -246,7 +261,8 @@ mod tests {
         assert!(!Msg::ConnReq {
             nonce: 0,
             kind: ConnKind::Child,
-            vdist: 1.0
+            vdist: 1.0,
+            coord: None
         }
         .is_data());
     }

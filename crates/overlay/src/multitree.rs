@@ -377,7 +377,9 @@ fn primary_vid(ev: &TraceEvent) -> Option<u32> {
         | TraceEvent::AdmissionShed { host, .. }
         | TraceEvent::DiscoveryRound { host, .. }
         | TraceEvent::DiscoveryAnchor { host, .. }
-        | TraceEvent::DiscoveryFallback { host, .. } => Some(*host),
+        | TraceEvent::DiscoveryFallback { host, .. }
+        | TraceEvent::CoordUpdate { host, .. }
+        | TraceEvent::GuidedEntry { host, .. } => Some(*host),
         TraceEvent::FaultApplied { from, .. } => Some(*from),
         TraceEvent::CacheLookup { .. } => None,
         TraceEvent::Tagged { inner, .. } => primary_vid(inner),

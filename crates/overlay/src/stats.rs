@@ -165,6 +165,12 @@ pub struct RecoveryStats {
     pub peer_reqs_served: u64,
     /// `PeerReq` probes shed (responder unattached or budget dry).
     pub peer_reqs_dropped: u64,
+    /// Vivaldi spring-relaxation steps applied (coordinate-embedding
+    /// extension; 0 when the embedding is off).
+    pub coord_updates: u64,
+    /// Joins that entered the walk at a coordinate-ranked anchor
+    /// instead of the default entry point.
+    pub guided_entries: u64,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -342,6 +348,8 @@ impl RunStats {
         m.counter_add("discovery.fallbacks", r.discovery_fallbacks);
         m.counter_add("discovery.peer_reqs_served", r.peer_reqs_served);
         m.counter_add("discovery.peer_reqs_dropped", r.peer_reqs_dropped);
+        m.counter_add("coords.updates", r.coord_updates);
+        m.counter_add("coords.guided_entries", r.guided_entries);
         // Fixed buckets in seconds: sub-second failover through
         // walk-scale (tens of seconds) recovery.
         const SECS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0];
@@ -433,6 +441,8 @@ mod tests {
         rs.recovery.discovery_fallbacks = 1;
         rs.recovery.peer_reqs_served = 6;
         rs.recovery.peer_reqs_dropped = 3;
+        rs.recovery.coord_updates = 9;
+        rs.recovery.guided_entries = 4;
         let mut m = vdm_trace::MetricsRegistry::new();
         rs.export_metrics(&mut m);
         assert_eq!(m.counter("recovery.orphan_events"), 3);
@@ -448,6 +458,8 @@ mod tests {
         assert_eq!(m.counter("discovery.fallbacks"), 1);
         assert_eq!(m.counter("discovery.peer_reqs_served"), 6);
         assert_eq!(m.counter("discovery.peer_reqs_dropped"), 3);
+        assert_eq!(m.counter("coords.updates"), 9);
+        assert_eq!(m.counter("coords.guided_entries"), 4);
         let h = m.get_histogram("discovery.first_anchor_s").unwrap();
         assert_eq!(h.count(), 1);
     }

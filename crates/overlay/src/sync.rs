@@ -186,10 +186,25 @@ impl<D: Fn(HostId, HostId) -> VDist> SyncOverlay<D> {
 
     /// Join `joiner` with the given degree limit.
     pub fn join(&mut self, joiner: HostId, limit: u32, policy: &dyn WalkPolicy) -> JoinTrace {
+        self.join_from(joiner, limit, policy, self.source)
+    }
+
+    /// Join `joiner` with the walk anchored at `start` instead of the
+    /// source (coordinate-guided entry: the caller picked a nearby
+    /// in-tree host from gossip/discovery state). A dead or self
+    /// `start` falls back to the source, so a stale anchor only costs
+    /// walk steps, never correctness.
+    pub fn join_from(
+        &mut self,
+        joiner: HostId,
+        limit: u32,
+        policy: &dyn WalkPolicy,
+        start: HostId,
+    ) -> JoinTrace {
         assert!(!self.in_tree(joiner), "{joiner} already joined");
         assert!(joiner != self.source);
         self.peers[joiner.idx()] = Some(PeerState::new(joiner, limit, false));
-        self.walk(joiner, self.source, policy, crate::walk::WalkPurpose::Join)
+        self.walk(joiner, start, policy, crate::walk::WalkPurpose::Join)
     }
 
     /// Graceful leave: orphans re-join starting at their grandparent

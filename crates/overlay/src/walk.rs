@@ -10,6 +10,7 @@
 //! fallback node; the protocol supplies a [`WalkPolicy`].
 
 use crate::agent::Ctx;
+use crate::coords::{pair_seed, CoordSample, CoordsConfig, VivaldiState};
 use crate::msg::{ChildEntry, ConnKind, ConnResult, Msg};
 use crate::VDist;
 use vdm_netsim::{HostId, SimTime};
@@ -107,6 +108,28 @@ pub trait WalkPolicy {
             .iter()
             .map(|c| (c.child, vdm_trace::CaseClass::Unknown))
             .collect()
+    }
+
+    /// Pick the anchor a damped restart resumes from. `visited` is the
+    /// walk's responsive descent chain, shallowest-first, with the node
+    /// that just failed already removed; `coord_dist` estimates the
+    /// walker's virtual distance to each visited entry out of an active
+    /// coordinate embedding (`None` when no embedding runs, `INFINITY`
+    /// entries where no sample was piggybacked). Only called when
+    /// [`WalkConfig::restart_anchor`] damping is on. Default: the
+    /// deepest visited ancestor, else the fallback — exactly the
+    /// pre-coordinate damping. VDM overrides this to resume from the
+    /// coordinate-nearest visited ancestor (deepest on ties), so a
+    /// restart lands in the joiner's predicted tree region instead of
+    /// blindly at the frontier.
+    fn restart_anchor(
+        &self,
+        visited: &[HostId],
+        coord_dist: Option<&[VDist]>,
+        fallback: HostId,
+    ) -> HostId {
+        let _ = coord_dist;
+        visited.last().copied().unwrap_or(fallback)
     }
 }
 
@@ -258,6 +281,33 @@ pub(crate) fn scaled_delay(
     SimTime::from_ms(ms)
 }
 
+/// Fold one measured RTT plus the piggybacked remote sample into the
+/// walker's embedding. A free function over disjoint [`Walk`] fields so
+/// it can run while the phase state is still borrowed. No-op — no
+/// events, counters, or RNG — unless an embedding runs *and* the reply
+/// carried a sample.
+fn observe_coord_sample(
+    coords: &mut Option<(VivaldiState, CoordsConfig)>,
+    coord_harvest: &mut Vec<(HostId, CoordSample)>,
+    ctx: &mut Ctx<'_>,
+    from: HostId,
+    remote: Option<CoordSample>,
+    rtt_ms: f64,
+) {
+    let (Some((state, cfg)), Some(sample)) = (coords.as_mut(), remote) else {
+        return;
+    };
+    let step = state.update(sample, rtt_ms, cfg, pair_seed(ctx.me, from));
+    let err = state.err;
+    coord_harvest.push((from, sample));
+    ctx.stats.recovery.coord_updates += 1;
+    ctx.trace(|| vdm_trace::TraceEvent::CoordUpdate {
+        host: ctx.me.0,
+        err,
+        step,
+    });
+}
+
 /// The walk state machine. One instance per in-progress (re)join or
 /// refinement.
 pub struct Walk {
@@ -286,6 +336,17 @@ pub struct Walk {
     /// resumes at its deepest entry that is not the node that just
     /// failed. Unused (and empty) unless `cfg.restart_anchor` is on.
     visited: Vec<HostId>,
+    /// Piggybacked coordinate of each `visited` entry (parallel vector;
+    /// `None` where the info response carried no sample). Feeds the
+    /// [`WalkPolicy::restart_anchor`] coordinate ranking.
+    visited_coords: Vec<Option<CoordSample>>,
+    /// The walker's own embedding state, updated from every measured
+    /// RTT whose reply piggybacked a remote sample. `None` (coords off)
+    /// makes every coordinate branch in this walk a no-op.
+    coords: Option<(VivaldiState, CoordsConfig)>,
+    /// Remote samples learned this walk, for the agent's peer-coord
+    /// cache (parallel to nothing; dedup is the agent's job).
+    coord_harvest: Vec<(HostId, CoordSample)>,
     phase: Phase,
 }
 
@@ -301,6 +362,7 @@ impl Walk {
         cfg: WalkConfig,
         gen_base: u64,
         refine_baseline: Option<VDist>,
+        coords: Option<(VivaldiState, CoordsConfig)>,
         ctx: &mut Ctx<'_>,
     ) -> Self {
         let mut w = Self {
@@ -315,6 +377,9 @@ impl Walk {
             refine_baseline,
             harvest: Vec::new(),
             visited: Vec::new(),
+            visited_coords: Vec::new(),
+            coords,
+            coord_harvest: Vec::new(),
             phase: Phase::AwaitInfo {
                 sent_at: SimTime::ZERO,
                 retries: 0,
@@ -354,6 +419,22 @@ impl Walk {
         &self.harvest
     }
 
+    /// The walker's embedding state after this walk's updates (`None`
+    /// when coords are off); the agent copies it back on walk finish.
+    pub fn coord_state(&self) -> Option<VivaldiState> {
+        self.coords.map(|(s, _)| s)
+    }
+
+    /// Remote coordinate samples piggybacked on this walk's replies.
+    pub fn coord_harvest(&self) -> &[(HostId, CoordSample)] {
+        &self.coord_harvest
+    }
+
+    /// The walker's sample for outgoing piggyback fields.
+    fn coord_sample(&self) -> Option<CoordSample> {
+        self.coords.map(|(s, _)| s.sample())
+    }
+
     fn arm_deadline(&self, ctx: &mut Ctx<'_>) {
         let t = scaled_delay(
             self.cfg.timeout,
@@ -382,19 +463,28 @@ impl Walk {
         self.arm_deadline(ctx);
     }
 
-    fn restart(&mut self, ctx: &mut Ctx<'_>) -> Option<WalkOutcome> {
+    fn restart(&mut self, ctx: &mut Ctx<'_>, policy: &dyn WalkPolicy) -> Option<WalkOutcome> {
         self.restarts += 1;
         ctx.stats.walk_restarts += 1;
         let anchor = if self.cfg.restart_anchor {
             // Restart-anchor damping: drop the node that just failed
-            // from the responsive chain and resume at the deepest
-            // remaining visited ancestor. The chain only ever grows
-            // (except for that one pop), so restart depth is monotone
-            // non-decreasing while failures stay at the frontier.
+            // from the responsive chain, then let the policy pick the
+            // resume point. Without an embedding that is the deepest
+            // remaining visited ancestor (the chain only ever grows
+            // except for that one pop, so restart depth is monotone
+            // non-decreasing while failures stay at the frontier); with
+            // one, VDM resumes from the coordinate-nearest ancestor.
             while self.visited.last() == Some(&self.current) {
                 self.visited.pop();
+                self.visited_coords.pop();
             }
-            self.visited.last().copied().unwrap_or(self.fallback)
+            let coord_dist: Option<Vec<VDist>> = self.coords.as_ref().map(|(state, _)| {
+                self.visited_coords
+                    .iter()
+                    .map(|c| c.map_or(VDist::INFINITY, |s| state.coord.dist(s.coord)))
+                    .collect()
+            });
+            policy.restart_anchor(&self.visited, coord_dist.as_deref(), self.fallback)
         } else {
             self.fallback
         };
@@ -429,10 +519,14 @@ impl Walk {
             (
                 Phase::AwaitInfo { sent_at, .. },
                 Msg::InfoResp {
-                    nonce, children, ..
+                    nonce,
+                    children,
+                    coord,
+                    ..
                 },
             ) if *nonce == self.generation && from == self.current => {
                 let rtt = (ctx.now() - *sent_at).as_ms();
+                let coord = *coord;
                 let loss = if policy.needs_loss() {
                     ctx.estimate_loss(self.current)
                 } else {
@@ -440,8 +534,17 @@ impl Walk {
                 };
                 let d_current = policy.vdist(rtt, loss);
                 self.harvest.push((self.current, d_current));
+                observe_coord_sample(
+                    &mut self.coords,
+                    &mut self.coord_harvest,
+                    ctx,
+                    from,
+                    coord,
+                    rtt,
+                );
                 if self.cfg.restart_anchor && self.visited.last() != Some(&self.current) {
                     self.visited.push(self.current);
+                    self.visited_coords.push(coord);
                 }
                 // Probe every reported child except ourselves.
                 let reported: Vec<ChildEntry> = children
@@ -474,7 +577,7 @@ impl Walk {
                     pending,
                     results,
                 },
-                Msg::Pong { nonce },
+                Msg::Pong { nonce, coord },
             ) => {
                 let Some(pos) = pending
                     .iter()
@@ -484,6 +587,7 @@ impl Walk {
                 };
                 let (_, child, sent_at) = pending.swap_remove(pos);
                 let rtt = (ctx.now() - sent_at).as_ms();
+                let coord = *coord;
                 let loss = if policy.needs_loss() {
                     ctx.estimate_loss(child)
                 } else {
@@ -496,6 +600,14 @@ impl Walk {
                     .unwrap_or(VDist::INFINITY);
                 let d_new_child = policy.vdist(rtt, loss);
                 self.harvest.push((child, d_new_child));
+                observe_coord_sample(
+                    &mut self.coords,
+                    &mut self.coord_harvest,
+                    ctx,
+                    child,
+                    coord,
+                    rtt,
+                );
                 results.push(ChildProbe {
                     child,
                     d_parent_child,
@@ -544,7 +656,7 @@ impl Walk {
                     ConnResult::Redirect { next } => {
                         let next = *next;
                         if next == ctx.me {
-                            return self.restart(ctx);
+                            return self.restart(ctx, policy);
                         }
                         // Connect directly if we probed the redirect
                         // target this round; otherwise walk from it.
@@ -562,6 +674,7 @@ impl Walk {
                                     nonce,
                                     kind: ConnKind::Child,
                                     vdist: d,
+                                    coord: self.coord_sample(),
                                 },
                             );
                             self.arm_deadline(ctx);
@@ -573,7 +686,7 @@ impl Walk {
                     }
                     ConnResult::Rejected => {
                         ctx.stats.rejected_conns += 1;
-                        self.restart(ctx)
+                        self.restart(ctx, policy)
                     }
                 }
             }
@@ -605,7 +718,7 @@ impl Walk {
                     self.arm_deadline(ctx);
                     None
                 } else {
-                    self.restart(ctx)
+                    self.restart(ctx, policy)
                 }
             }
             Phase::AwaitProbes {
@@ -617,7 +730,7 @@ impl Walk {
                 let res = std::mem::take(results);
                 self.decide(ctx, d, res, policy, free_degree)
             }
-            Phase::AwaitConn { .. } => self.restart(ctx),
+            Phase::AwaitConn { .. } => self.restart(ctx, policy),
         }
     }
 
@@ -716,6 +829,7 @@ impl Walk {
                         nonce,
                         kind,
                         vdist: d_current,
+                        coord: self.coord_sample(),
                     },
                 );
                 self.arm_deadline(ctx);
@@ -778,6 +892,7 @@ mod tests {
                 })
                 .collect(),
             parent: None,
+            coord: None,
         };
         let mut ctx = Ctx {
             me: HostId(0),
@@ -790,6 +905,7 @@ mod tests {
         for &c in children {
             let pong = Msg::Pong {
                 nonce: walk.generation(),
+                coord: None,
             };
             walk.on_msg(&mut ctx, HostId(c), &pong, &DescendFirst, 2);
         }
@@ -834,6 +950,7 @@ mod tests {
                 SimTime::ZERO,
                 cfg,
                 0,
+                None,
                 None,
                 &mut ctx,
             )
@@ -907,6 +1024,7 @@ mod tests {
                 SimTime::ZERO,
                 WalkConfig::default(),
                 0,
+                None,
                 None,
                 &mut ctx,
             )

@@ -207,6 +207,24 @@ pub enum TraceEvent {
         /// The bootstrapping host.
         host: u32,
     },
+    /// One Vivaldi spring-relaxation step folded a measured RTT into
+    /// the host's virtual coordinate (coordinate-embedding extension).
+    CoordUpdate {
+        /// The updating host.
+        host: u32,
+        /// The host's relative-error estimate after the update.
+        err: f64,
+        /// Magnitude of the coordinate move.
+        step: f64,
+    },
+    /// A join entered the walk at a coordinate-ranked anchor instead of
+    /// the default (source / discovery-ordered) entry point.
+    GuidedEntry {
+        /// The joining host.
+        host: u32,
+        /// The coordinate-nearest live anchor the walk starts at.
+        anchor: u32,
+    },
     /// An event attributed to one tree of a multi-tree session. The
     /// serialized record keeps the inner event's `kind` and fields and
     /// adds a `tree` field, so single-tree consumers and host filters
@@ -241,6 +259,8 @@ impl TraceEvent {
             TraceEvent::DiscoveryRound { .. } => "discovery_round",
             TraceEvent::DiscoveryAnchor { .. } => "discovery_anchor",
             TraceEvent::DiscoveryFallback { .. } => "discovery_fallback",
+            TraceEvent::CoordUpdate { .. } => "coord_update",
+            TraceEvent::GuidedEntry { .. } => "guided_entry",
             TraceEvent::Tagged { inner, .. } => inner.kind(),
         }
     }
@@ -372,6 +392,15 @@ impl TraceEvent {
             TraceEvent::DiscoveryFallback { host } => {
                 TraceEvent::DiscoveryFallback { host: f(host) }
             }
+            TraceEvent::CoordUpdate { host, err, step } => TraceEvent::CoordUpdate {
+                host: f(host),
+                err,
+                step,
+            },
+            TraceEvent::GuidedEntry { host, anchor } => TraceEvent::GuidedEntry {
+                host: f(host),
+                anchor: f(anchor),
+            },
             TraceEvent::Tagged { tree, inner } => TraceEvent::Tagged {
                 tree,
                 inner: Box::new(inner.map_hosts(f)),
@@ -520,6 +549,14 @@ impl TraceEvent {
             TraceEvent::DiscoveryFallback { host } => {
                 w.u64("host", *host as u64);
             }
+            TraceEvent::CoordUpdate { host, err, step } => {
+                w.u64("host", *host as u64)
+                    .f64("err", *err)
+                    .f64("step", *step);
+            }
+            TraceEvent::GuidedEntry { host, anchor } => {
+                w.u64("host", *host as u64).u64("anchor", *anchor as u64);
+            }
             TraceEvent::Tagged { tree, inner } => {
                 w.u64("tree", *tree as u64);
                 inner.write_fields(w);
@@ -660,6 +697,12 @@ mod tests {
                 took_s: 0.75,
             },
             TraceEvent::DiscoveryFallback { host: 1 },
+            TraceEvent::CoordUpdate {
+                host: 1,
+                err: 0.5,
+                step: 2.25,
+            },
+            TraceEvent::GuidedEntry { host: 1, anchor: 6 },
             TraceEvent::Tagged {
                 tree: 2,
                 inner: Box::new(TraceEvent::ChunkRepaired { host: 1, seq: 42 }),

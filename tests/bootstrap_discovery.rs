@@ -5,59 +5,32 @@
 //! Includes the `bootstrap_smoke` CI gate (fixed seed, fails on any
 //! tree-invariant violation).
 
+mod common;
+
+use common::{resilient_factory as factory, run_driver};
 use proptest::{prop_assert, prop_assert_eq, proptest};
 use vdm_core::VdmFactory;
 use vdm_experiments::figures::bootstrap::bootstrap_family_smoke;
 use vdm_experiments::setup::ch3_setup;
-use vdm_netsim::SimTime;
-use vdm_overlay::agent::{AdmissionConfig, AgentConfig, HeartbeatConfig, ResilienceConfig};
-use vdm_overlay::driver::{Driver, DriverConfig, RunOutput};
-use vdm_overlay::repair::RepairConfig;
+use vdm_overlay::coords::CoordsConfig;
+use vdm_overlay::driver::RunOutput;
 use vdm_overlay::scenario::{ChurnConfig, FlashCrowdConfig, Scenario};
-use vdm_overlay::walk::WalkConfig;
 use vdm_overlay::DiscoveryConfig;
 
-/// Chaos-grade control plane with every proactive-resilience mechanism
-/// enabled (the A11 preset).
-fn resilient() -> AgentConfig {
-    AgentConfig {
-        walk: WalkConfig::hardened(),
-        retry_backoff: 2.0,
-        data_timeout: Some(SimTime::from_secs(15)),
-        heartbeat: Some(HeartbeatConfig {
-            period: SimTime::from_secs(10),
-            timeout: SimTime::from_secs(30),
-        }),
-        gap_threshold: Some(SimTime::from_secs(5)),
-        resilience: Some(ResilienceConfig::default()),
-        admission: Some(AdmissionConfig::default()),
-        repair: Some(RepairConfig::default()),
-        ..AgentConfig::default()
-    }
-}
-
-fn factory() -> VdmFactory {
-    VdmFactory {
-        agent: resilient(),
-        ..VdmFactory::delay_based()
-    }
-}
-
 fn run_flash_crowd(topo_seed: u64, fc: &FlashCrowdConfig, plan_seed: u64) -> RunOutput {
+    run_flash_crowd_with(topo_seed, fc, plan_seed, factory())
+}
+
+fn run_flash_crowd_with(
+    topo_seed: u64,
+    fc: &FlashCrowdConfig,
+    plan_seed: u64,
+    factory: VdmFactory,
+) -> RunOutput {
     let setup = ch3_setup(fc.seeds + fc.joiners, 0.0, topo_seed);
     let scenario = Scenario::flash_crowd(fc, &setup.candidates, plan_seed);
     let members = setup.candidates.len();
-    Driver::new(
-        setup.underlay.clone(),
-        None,
-        setup.source,
-        factory(),
-        &scenario,
-        vec![4; members + 1],
-        DriverConfig::default(),
-        plan_seed,
-    )
-    .run()
+    run_driver(&setup, factory, &scenario, vec![4; members + 1], plan_seed)
 }
 
 /// The fixed-seed CI gate: the acceptance cell (k = 3, 30 % stale
@@ -104,17 +77,7 @@ fn empty_discovery_config_is_byte_identical_to_none() {
     let run = |discovery: Option<DiscoveryConfig>| -> RunOutput {
         let mut scenario = Scenario::churn(&churn, &setup.candidates, 42);
         scenario.discovery = discovery;
-        Driver::new(
-            setup.underlay.clone(),
-            None,
-            setup.source,
-            factory(),
-            &scenario,
-            vec![4; members + 1],
-            DriverConfig::default(),
-            42,
-        )
-        .run()
+        run_driver(&setup, factory(), &scenario, vec![4; members + 1], 42)
     };
     let off = run(None);
     let empty = run(Some(DiscoveryConfig::default()));
@@ -129,6 +92,54 @@ fn empty_discovery_config_is_byte_identical_to_none() {
     assert_eq!(
         empty.stats.recovery.bootstrap_contacts, 0,
         "an empty seed set must never probe"
+    );
+}
+
+/// Coordinate-guided entry composes with decentralized bootstrap: the
+/// acceptance flash crowd re-run with the whole coordinate stack on
+/// (Vivaldi piggyback on walk traffic, coordinate-ranked discovery
+/// probing, damped restarts) must stay exactly as clean as discovery
+/// alone — zero invariant violations, so guided never exceeds
+/// unguided — with everyone connected, and must actually exercise the
+/// coordinate machinery rather than silently disable itself.
+#[test]
+fn guided_entry_composes_with_discovery() {
+    let fc = |coord_ranked: bool| FlashCrowdConfig {
+        seeds: 3,
+        stale_frac: 0.3,
+        joiners: 8,
+        warmup_s: 30.0,
+        crowd_at_s: 60.0,
+        spread_s: 4.0,
+        seed_churn_frac: 0.5,
+        churn_delay_s: 2.0,
+        settle_s: 90.0,
+        measure_every_s: 60.0,
+        discovery: DiscoveryConfig {
+            coord_ranked,
+            ..DiscoveryConfig::default()
+        },
+    };
+    let mut guided_factory = factory();
+    guided_factory.agent.coords = Some(CoordsConfig::default());
+    if let Some(r) = guided_factory.agent.resilience.as_mut() {
+        r.coord_ranked = true;
+    }
+    let plain = run_flash_crowd(42, &fc(false), 42);
+    let guided = run_flash_crowd_with(42, &fc(true), 42, guided_factory);
+    assert_eq!(plain.stats.recovery.total_violations(), 0);
+    assert!(
+        guided.stats.recovery.total_violations() <= plain.stats.recovery.total_violations(),
+        "coordinates introduced invariant violations: {} vs {}",
+        guided.stats.recovery.total_violations(),
+        plain.stats.recovery.total_violations()
+    );
+    let last = guided.stats.measurements.last().unwrap();
+    assert_eq!(last.tree_errors, 0, "guided run broke tree invariants");
+    assert_eq!(last.connected, last.members, "guided run left dark peers");
+    assert!(
+        guided.stats.recovery.coord_updates > 0,
+        "coordinates never updated — the piggyback path is dead"
     );
 }
 

@@ -5,6 +5,9 @@
 //! the stripe that owns it — property-tested over seeds, with the
 //! paper's fixed seeds 11 and 42 pinned explicitly.
 
+mod common;
+
+use common::staggered_joins;
 use proptest::{prop_assert, prop_assert_eq, proptest};
 use vdm_core::{perturb_vdist, VdmFactory, VdmPolicy};
 use vdm_experiments::setup::{powerlaw_setup, waxman_setup, Ch3Setup};
@@ -157,12 +160,7 @@ proptest! {
 fn crash_session(k: usize, seed: u64) -> vdm_overlay::MultiTreeOutput {
     let members = 10usize;
     let setup = waxman_setup(members, 30, seed);
-    let mut actions: Vec<(SimTime, Action)> = setup
-        .candidates
-        .iter()
-        .enumerate()
-        .map(|(i, &h)| (SimTime::from_secs(2 + 2 * i as u64), Action::Join(h)))
-        .collect();
+    let mut actions = staggered_joins(&setup.candidates, 2, 2);
     actions.push((SimTime::from_secs(120), Action::Measure));
     let scenario = Scenario::from_actions(actions, SimTime::from_secs(125));
     let base = vec![3u32; members + 1];

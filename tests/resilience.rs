@@ -4,41 +4,14 @@
 //! per seed. Includes the `soak_smoke` CI gate (fixed seed, fails on
 //! any tree-invariant violation).
 
+mod common;
+
+use common::{resilient_factory as factory, run_driver, staggered_joins};
 use proptest::{prop_assert, prop_assert_eq, proptest};
-use vdm_core::VdmFactory;
 use vdm_experiments::setup::ch3_setup;
 use vdm_netsim::SimTime;
-use vdm_overlay::agent::{AdmissionConfig, AgentConfig, HeartbeatConfig, ResilienceConfig};
 use vdm_overlay::driver::{Driver, DriverConfig};
-use vdm_overlay::repair::RepairConfig;
 use vdm_overlay::scenario::{Action, Scenario, SoakConfig};
-use vdm_overlay::walk::WalkConfig;
-
-/// Chaos-grade control plane with every proactive-resilience mechanism
-/// enabled.
-fn resilient() -> AgentConfig {
-    AgentConfig {
-        walk: WalkConfig::hardened(),
-        retry_backoff: 2.0,
-        data_timeout: Some(SimTime::from_secs(15)),
-        heartbeat: Some(HeartbeatConfig {
-            period: SimTime::from_secs(10),
-            timeout: SimTime::from_secs(30),
-        }),
-        gap_threshold: Some(SimTime::from_secs(5)),
-        resilience: Some(ResilienceConfig::default()),
-        admission: Some(AdmissionConfig::default()),
-        repair: Some(RepairConfig::default()),
-        ..AgentConfig::default()
-    }
-}
-
-fn factory() -> VdmFactory {
-    VdmFactory {
-        agent: resilient(),
-        ..VdmFactory::delay_based()
-    }
-}
 
 /// Regression: a newcomer whose join walk is in flight *through* a node
 /// that crashes (no Leave, no handover — `Action::Crash` just unplugs
@@ -52,10 +25,7 @@ fn newcomer_joins_through_a_crashing_node() {
         // Degree 1 everywhere forces a chain src -> c0 -> c1 -> c2 -> c3,
         // so the newcomer's walk must descend through c1.
         let limits = vec![1u32; 7];
-        let mut actions = Vec::new();
-        for (i, &h) in setup.candidates[..4].iter().enumerate() {
-            actions.push((SimTime::from_secs(5 + i as u64 * 5), Action::Join(h)));
-        }
+        let mut actions = staggered_joins(&setup.candidates[..4], 5, 5);
         let t_join = 60_000.0;
         actions.push((SimTime::from_ms(t_join), Action::Join(setup.candidates[4])));
         actions.push((
@@ -64,17 +34,7 @@ fn newcomer_joins_through_a_crashing_node() {
         ));
         actions.push((SimTime::from_secs(200), Action::Measure));
         let scenario = Scenario::from_actions(actions, SimTime::from_secs(205));
-        let out = Driver::new(
-            setup.underlay.clone(),
-            None,
-            setup.source,
-            factory(),
-            &scenario,
-            limits,
-            DriverConfig::default(),
-            33,
-        )
-        .run();
+        let out = run_driver(&setup, factory(), &scenario, limits, 33);
         let last = out.stats.measurements.last().unwrap();
         assert_eq!(last.members, 4, "case {case}: 5 joined, 1 crashed");
         assert_eq!(
@@ -181,17 +141,7 @@ proptest! {
             &setup.candidates,
             plan_seed,
         );
-        let out = Driver::new(
-            setup.underlay.clone(),
-            None,
-            setup.source,
-            factory(),
-            &scenario,
-            vec![3; members + 1],
-            DriverConfig::default(),
-            plan_seed,
-        )
-        .run();
+        let out = run_driver(&setup, factory(), &scenario, vec![3; members + 1], plan_seed);
         let last = out.stats.measurements.last().unwrap();
         prop_assert_eq!(last.tree_errors, 0, "errors after quiet tail (seed {})", plan_seed);
         prop_assert_eq!(
