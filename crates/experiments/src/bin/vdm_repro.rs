@@ -5,7 +5,7 @@
 //! vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]
 //!                    [--cache DIR|--no-cache] [--sequential]
 //! vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]
-//! vdm-repro scale [--quick|--paper] [--smoke] [--seed N] [--csv DIR]
+//! vdm-repro scale [--quick|--paper] [--smoke] [--shards N] [--seed N] [--csv DIR]
 //! vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]
 //!                          [--csv DIR] [--cache DIR|--no-cache]
 //! vdm-repro trace filter    --input FILE [--host N] [--kind K]
@@ -35,7 +35,12 @@
 //! routed by the memory-bounded on-demand router — no O(n^2) matrix —
 //! and writes `BENCH_scale.json` (per-N wall-clock, walk contacts vs
 //! the n·log N prediction, resident-row peak). `--smoke` runs tiny
-//! sizes sequentially for CI gating.
+//! sizes sequentially for CI gating. `--shards N` (A12) additionally
+//! sweeps the sharded engine from 1 to N shards over one shard-aware
+//! power-law underlay — up to 100k members with `--paper` — and writes
+//! `BENCH_shard.json`; the run fails unless the S = 1 run is
+//! byte-identical to the plain engine and delivery fingerprints agree
+//! across shard counts.
 //!
 //! `multitree` (A10) is likewise separate: it stripes the stream over
 //! k ∈ {1..4} decorrelated trees, crashes interior nodes and replays
@@ -80,7 +85,8 @@ use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vdm_experiments::figures::{
-    ablation, bootstrap, chaos, compare, complexity, fig3, fig4, fig5, multitree, scale, soak,
+    ablation, bootstrap, chaos, compare, complexity, fig3, fig4, fig5, multitree, scale, shard,
+    soak,
 };
 use vdm_experiments::{runner, setup, Effort, Table};
 use vdm_topology::cache;
@@ -261,42 +267,82 @@ fn run_bench(opts: &Opts, smoke: bool) -> io::Result<()> {
 
 /// `vdm-repro scale` (A9): join up to 20k members under VDM and HMTP
 /// over on-demand-routed power-law underlays, emit `BENCH_scale.json`.
-fn run_scale(opts: &Opts, smoke: bool) -> io::Result<()> {
+/// With `--shards N` (A12), also sweep the sharded engine up to `N`
+/// shards over one shard-aware underlay and emit `BENCH_shard.json`;
+/// outside smoke mode `--shards` runs *only* the sharded bench (the
+/// plain A9 sweep at 100k would take hours on the single heap — the
+/// point of A12 is not paying that).
+fn run_scale(opts: &Opts, smoke: bool, shards: Option<usize>) -> io::Result<()> {
     if smoke {
         // Tiny and sequential: the CI gate only checks that the report
         // is produced, parses, and has the right shape.
         std::env::set_var("VDM_SEQUENTIAL", "1");
     }
     let seed = opts.seed;
+    if smoke || shards.is_none() {
+        let t0 = Instant::now();
+        let report = if smoke {
+            scale::scale_family_with_sizes(&[64, 128], seed)
+        } else {
+            scale::scale_family(opts.effort, seed)
+        };
+        emit(&report.tables, opts)?;
+        let json = report.to_json(smoke, seed);
+        let dir = opts.csv_dir.clone().unwrap_or_else(|| "results".into());
+        std::fs::create_dir_all(&dir)
+            .map_err(io_ctx(format!("creating scale directory `{dir}`")))?;
+        let path = format!("{dir}/BENCH_scale.json");
+        std::fs::write(&path, &json).map_err(io_ctx(format!("writing scale report `{path}`")))?;
+        println!("  [json] {path}");
+        // Coordinate-guided joins must cut contacts without degrading the
+        // tree where the knee lives: fail the run when the guided series
+        // costs more than 2% stretch over plain VDM at the largest
+        // population in the sweep (at toy sizes guided deliberately trades
+        // a small stretch premium for its contact savings — you would not
+        // enable guidance there, and the async stack ships it default-off).
+        if let [.., vdm, guided, _] = report.points.as_slice() {
+            assert_eq!((vdm.protocol, guided.protocol), ("vdm", "vdm_guided"));
+            if vdm.n >= 5000 && guided.stretch_mean > vdm.stretch_mean * 1.02 {
+                return Err(io::Error::other(format!(
+                    "guided stretch regression at N={}: {:.4} vs plain {:.4}",
+                    vdm.n, guided.stretch_mean, vdm.stretch_mean
+                )));
+            }
+        }
+        println!("[done scale in {:.1?}]", t0.elapsed());
+    }
+    let Some(max_shards) = shards else {
+        return Ok(());
+    };
     let t0 = Instant::now();
     let report = if smoke {
-        scale::scale_family_with_sizes(&[64, 128], seed)
+        shard::shard_family_smoke(max_shards, seed)
     } else {
-        scale::scale_family(opts.effort, seed)
+        shard::shard_family(
+            shard::shard_size(opts.effort),
+            max_shards,
+            shard::shard_chunks(opts.effort),
+            seed,
+        )
     };
     emit(&report.tables, opts)?;
     let json = report.to_json(smoke, seed);
     let dir = opts.csv_dir.clone().unwrap_or_else(|| "results".into());
-    std::fs::create_dir_all(&dir).map_err(io_ctx(format!("creating scale directory `{dir}`")))?;
-    let path = format!("{dir}/BENCH_scale.json");
-    std::fs::write(&path, &json).map_err(io_ctx(format!("writing scale report `{path}`")))?;
+    std::fs::create_dir_all(&dir).map_err(io_ctx(format!("creating shard directory `{dir}`")))?;
+    let path = format!("{dir}/BENCH_shard.json");
+    std::fs::write(&path, &json).map_err(io_ctx(format!("writing shard report `{path}`")))?;
     println!("  [json] {path}");
-    // Coordinate-guided joins must cut contacts without degrading the
-    // tree where the knee lives: fail the run when the guided series
-    // costs more than 2% stretch over plain VDM at the largest
-    // population in the sweep (at toy sizes guided deliberately trades
-    // a small stretch premium for its contact savings — you would not
-    // enable guidance there, and the async stack ships it default-off).
-    if let [.., vdm, guided, _] = report.points.as_slice() {
-        assert_eq!((vdm.protocol, guided.protocol), ("vdm", "vdm_guided"));
-        if vdm.n >= 5000 && guided.stretch_mean > vdm.stretch_mean * 1.02 {
-            return Err(io::Error::other(format!(
-                "guided stretch regression at N={}: {:.4} vs plain {:.4}",
-                vdm.n, guided.stretch_mean, vdm.stretch_mean
-            )));
-        }
+    println!("[done shard in {:.1?}]", t0.elapsed());
+    if !report.s1_identical {
+        return Err(io::Error::other(
+            "S=1 sharded run diverged from the plain engine — delegation broken",
+        ));
     }
-    println!("[done scale in {:.1?}]", t0.elapsed());
+    if !report.fingerprints_match {
+        return Err(io::Error::other(
+            "delivery fingerprints diverged across shard counts — barrier merge broken",
+        ));
+    }
     Ok(())
 }
 
@@ -749,6 +795,7 @@ fn main() {
     let mut no_cache = false;
     let mut sequential = false;
     let mut smoke = false;
+    let mut shards: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -762,6 +809,15 @@ fn main() {
                     Some(v) => v,
                     None => {
                         eprintln!("error: --seed needs an integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--shards" => {
+                shards = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v >= 1 => Some(v),
+                    _ => {
+                        eprintln!("error: --shards needs a positive integer");
                         std::process::exit(2);
                     }
                 };
@@ -816,6 +872,10 @@ fn main() {
         eprintln!("error: --smoke only applies to `bench`, `scale`, `multitree` and `bootstrap`");
         std::process::exit(2);
     }
+    if shards.is_some() && family != "scale" {
+        eprintln!("error: --shards only applies to `scale`");
+        std::process::exit(2);
+    }
     // The chaos and soak families always leave a CSV audit trail (their
     // whole point is reproducible recovery numbers).
     if (family == "chaos" || family == "soak") && opts.csv_dir.is_none() {
@@ -831,7 +891,7 @@ fn main() {
     if family == "scale" {
         // A9 sizes its own underlays; small ones persist routing rows
         // through the cache installed above, large ones stay in-memory.
-        if let Err(e) = run_scale(&opts, smoke) {
+        if let Err(e) = run_scale(&opts, smoke, shards) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
@@ -878,7 +938,7 @@ fn print_usage() {
         "usage: vdm-repro <family> [--quick|--paper] [--seed N] [--csv DIR]\n\
          \x20                  [--cache DIR|--no-cache] [--sequential]\n\
          \x20      vdm-repro bench [--quick] [--smoke] [--seed N] [--csv DIR]\n\
-         \x20      vdm-repro scale [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
+         \x20      vdm-repro scale [--quick|--paper] [--smoke] [--shards N] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro multitree [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro bootstrap [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]\n\

@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod multitree;
 pub mod scale;
+pub mod shard;
 pub mod soak;
 
 /// Run `f` for `reps` independent seeds through the experiment runner

@@ -159,6 +159,20 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Outcome of [`guided_join_sweep`]: the built overlay, per-join
+/// contact counts and the join loop's wall-clock.
+pub struct GuidedSweep {
+    /// The overlay after all joins. The distance closure is boxed so
+    /// the concrete overlay type is nameable by callers holding any
+    /// underlay (the A12 shard bench reuses this sweep over a
+    /// gateway-routed sharded underlay).
+    pub ov: SyncOverlay<Box<dyn Fn(HostId, HostId) -> VDist>>,
+    /// Contacts per join, in join order.
+    pub contacts: Vec<f64>,
+    /// Wall-clock of the join loop, ms.
+    pub wall_ms: f64,
+}
+
 /// The coordinate-guided VDM sweep: every joiner draws a deterministic
 /// `view_k`-member candidate view (the stand-in for PR 7's gossiped
 /// membership view), ranks it by Vivaldi coordinate distance, probes
@@ -176,12 +190,20 @@ fn splitmix64(mut z: u64) -> u64 {
 /// the source walk's global descent avoids); past the knee the plain
 /// tree degenerates into deep chains and guided wins stretch too —
 /// `tests/scale_knee.rs` pins both regimes.
-fn run_guided(n: usize, seed: u64, policy: &dyn WalkPolicy) -> ScalePoint {
-    let s = setup::scale_setup(n, seed);
-    let underlay = Arc::clone(&s.underlay);
+///
+/// Host 0 is the source; hosts `1..=n` join in id order. Works over
+/// any underlay whose `rtt_ms` answers host pairs in `0..=n`.
+pub fn guided_join_sweep(
+    underlay: Arc<dyn Underlay + Send + Sync>,
+    n: usize,
+    degree: u32,
+    seed: u64,
+    policy: &dyn WalkPolicy,
+) -> GuidedSweep {
+    let source = HostId(0);
     let u = Arc::clone(&underlay);
-    let dist = move |a: HostId, b: HostId| u.rtt_ms(a, b);
-    let mut ov = SyncOverlay::new(n + 1, s.source, DEGREE, dist);
+    let dist: Box<dyn Fn(HostId, HostId) -> VDist> = Box::new(move |a, b| u.rtt_ms(a, b));
+    let mut ov = SyncOverlay::new(n + 1, source, degree, dist);
     let cfg = CoordsConfig::default();
     let (view_k, probe_k) = (cfg.view_k, cfg.probe_k);
     let mut table = CoordTable::new(n + 1, cfg);
@@ -235,8 +257,8 @@ fn run_guided(n: usize, seed: u64, policy: &dyn WalkPolicy) -> ScalePoint {
                 best = Some((c, path, free));
             }
         }
-        let entry = best.map_or(s.source, |(c, _, _)| c);
-        let tr = ov.join_from(joiner, DEGREE, policy, entry);
+        let entry = best.map_or(source, |(c, _, _)| c);
+        let tr = ov.join_from(joiner, degree, policy, entry);
         path_rtt[joiner.idx()] = path_rtt[tr.parent.idx()] + underlay.rtt_ms(joiner, tr.parent);
         contacts.push(probed + tr.contacted as f64);
         // Background Vivaldi maintenance: the async protocol trains
@@ -255,7 +277,27 @@ fn run_guided(n: usize, seed: u64, policy: &dyn WalkPolicy) -> ScalePoint {
         }
     }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    finish_point(n, "vdm_guided", wall_ms, &contacts, &ov, &underlay)
+    GuidedSweep {
+        ov,
+        contacts,
+        wall_ms,
+    }
+}
+
+/// The A9 guided series: the sweep above over the A9 on-demand-routed
+/// power-law testbed, validated and folded into a [`ScalePoint`].
+fn run_guided(n: usize, seed: u64, policy: &dyn WalkPolicy) -> ScalePoint {
+    let s = setup::scale_setup(n, seed);
+    let underlay = Arc::clone(&s.underlay);
+    let sweep = guided_join_sweep(underlay.clone(), n, DEGREE, seed, policy);
+    finish_point(
+        n,
+        "vdm_guided",
+        sweep.wall_ms,
+        &sweep.contacts,
+        &sweep.ov,
+        &underlay,
+    )
 }
 
 /// Population sizes per effort tier. `--smoke` passes its own tiny

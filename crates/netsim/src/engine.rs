@@ -20,6 +20,7 @@
 
 use crate::dataplane::{DataPlane, DataPlaneConfig};
 use crate::faults::FaultPlan;
+use crate::shard::{OutboundEvent, ShardCtx};
 use crate::time::SimTime;
 use crate::underlay::{HostId, Underlay};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -136,6 +137,11 @@ pub struct Engine<M> {
     data_plane: Option<DataPlane>,
     fault_plan: Option<FaultPlan>,
     tracer: Tracer,
+    /// Present only when this engine is one shard of a
+    /// [`crate::shard::ShardedEngine`] with `S > 1`: sends to hosts
+    /// owned by other shards are diverted into per-destination outboxes
+    /// instead of the local heap.
+    shard: Option<ShardCtx<M>>,
 }
 
 impl<M> Engine<M> {
@@ -154,6 +160,7 @@ impl<M> Engine<M> {
             data_plane: None,
             fault_plan: None,
             tracer: vdm_trace::global(),
+            shard: None,
         }
     }
 
@@ -187,6 +194,11 @@ impl<M> Engine<M> {
     /// and are dropped on buffer overflow. Requires a routed underlay
     /// (one with physical links).
     pub fn enable_data_plane(&mut self, cfg: DataPlaneConfig) {
+        assert!(
+            self.shard.is_none(),
+            "the queueing data plane is not supported on a sharded engine \
+             (hop events cannot cross shard boundaries)"
+        );
         let specs = self.underlay.link_specs();
         assert!(
             !specs.is_empty(),
@@ -245,16 +257,98 @@ impl<M> Engine<M> {
         self.heap.push(Reverse(Scheduled { at, seq, kind }));
     }
 
+    /// Schedule a delivery, diverting it into the cross-shard outbox when
+    /// the destination lives on another shard.
+    fn deliver_or_forward(&mut self, at: SimTime, to: HostId, from: HostId, msg: M) {
+        if let Some(ctx) = self.shard.as_mut() {
+            let dst = ctx.map.shard_of(to);
+            if dst != ctx.id {
+                let seq = ctx.sent;
+                ctx.sent += 1;
+                ctx.outbox[dst as usize].push(OutboundEvent {
+                    at,
+                    to,
+                    from,
+                    msg,
+                    seq,
+                });
+                return;
+            }
+        }
+        self.push(at, EventKind::Deliver { to, from, msg });
+    }
+
+    /// Make this engine shard `ctx.id` of a sharded run (see
+    /// `crate::shard`). Must happen before any event is scheduled.
+    pub(crate) fn install_shard_ctx(&mut self, ctx: ShardCtx<M>) {
+        assert!(
+            self.heap.is_empty() && self.seq == 0,
+            "install shards first"
+        );
+        assert!(
+            self.data_plane.is_none(),
+            "the queueing data plane is not supported on a sharded engine"
+        );
+        self.shard = Some(ctx);
+    }
+
+    /// Drain the per-destination cross-shard outboxes (empty between
+    /// windows; only meaningful on a sharded engine).
+    pub(crate) fn take_outboxes(&mut self) -> Vec<Vec<OutboundEvent<M>>> {
+        let ctx = self.shard.as_mut().expect("not a sharded engine");
+        let shards = ctx.outbox.len();
+        std::mem::replace(&mut ctx.outbox, (0..shards).map(|_| Vec::new()).collect())
+    }
+
+    /// Inject a delivery that originated on another shard. The lookahead
+    /// window contract guarantees `at` has not passed yet; violating it
+    /// would silently warp the event forward (`push` clamps), so it is a
+    /// hard error instead.
+    pub(crate) fn inject_remote(&mut self, at: SimTime, to: HostId, from: HostId, msg: M) {
+        assert!(
+            at >= self.now,
+            "cross-shard event at {at} is before the local clock {} — \
+             the lookahead bound was violated",
+            self.now
+        );
+        self.push(at, EventKind::Deliver { to, from, msg });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.at)
+    }
+
     /// Send `msg` from `from` to `to`. Control messages are reliable;
     /// data packets may be dropped by path loss. With a fault plan
     /// installed, messages of either class may additionally be dropped,
-    /// duplicated or delayed by the fault layer. Returns `true` if the
-    /// message was scheduled for delivery.
+    /// duplicated or delayed by the fault layer.
+    ///
+    /// # Return contract
+    ///
+    /// Returns `true` iff the *primary* copy was scheduled: a fault drop
+    /// or a path-loss drop of the original returns `false`. On multi-hop
+    /// data-plane routes "scheduled" means the packet entered its first
+    /// link — a later congestion drop surfaces only in
+    /// [`Counters::data_congestion_dropped`]. A fault-layer duplicate is
+    /// an independent copy: its loss and congestion fate is sampled
+    /// separately and shows up exclusively in the counters, never in the
+    /// return value (the original may be reported dropped while its
+    /// duplicate still arrives, and vice versa).
     pub fn send(&mut self, from: HostId, to: HostId, msg: M, class: SendClass) -> bool
     where
         M: Clone,
     {
         assert!(from != to, "host {from} sending to itself");
+        #[cfg(debug_assertions)]
+        if let Some(ctx) = self.shard.as_ref() {
+            debug_assert_eq!(
+                ctx.map.shard_of(from),
+                ctx.id,
+                "host {from} sent from shard {} but lives elsewhere",
+                ctx.id
+            );
+        }
         match class {
             SendClass::Control => self.counters.control_sent += 1,
             SendClass::Data => self.counters.data_sent += 1,
@@ -301,24 +395,49 @@ impl<M> Engine<M> {
                 });
             }
         }
+        let mut primary_lost = false;
         if class == SendClass::Data {
             let p = self.underlay.path_loss(from, to);
-            if p > 0.0 && self.rng.gen::<f64>() < p {
+            // Each copy crosses the lossy path independently: sample the
+            // original's fate, then — only when the fault layer produced
+            // a duplicate — the duplicate's. Chaos-off runs draw exactly
+            // one sample, exactly as before.
+            primary_lost = p > 0.0 && self.rng.gen::<f64>() < p;
+            if fault_dup.is_some() && p > 0.0 && self.rng.gen::<f64>() < p {
                 self.counters.data_dropped += 1;
-                return false;
+                fault_dup = None;
+            }
+            if primary_lost {
+                self.counters.data_dropped += 1;
+                if fault_dup.is_none() {
+                    return false;
+                }
             }
             // Queueing data plane: route hop by hop over the link
             // calendars (one event per link crossing, so every link is
-            // charged in true arrival order). Fault-injected extra
-            // delays don't apply on the hop path; duplicates do, and
-            // pay queueing like any other packet.
+            // charged in true arrival order). A fault-injected extra
+            // delay shifts the copy's entry into its first link;
+            // duplicates enter separately and pay queueing like any
+            // other packet. The duplicate's own congestion fate is
+            // deliberately not reflected in the return value (see the
+            // return contract); it lands in the counters via
+            // `advance_hop`.
             if self.data_plane.is_some() {
                 if let Some(path) = self.underlay.path_edges(from, to) {
                     let path: std::sync::Arc<[vdm_topology::EdgeId]> = path.into();
-                    if fault_dup.is_some() {
-                        self.advance_hop(to, from, msg.clone(), path.clone(), 0);
+                    if let Some(extra) = fault_dup {
+                        let _ = self.enter_hop_path(
+                            to,
+                            from,
+                            msg.clone(),
+                            path.clone(),
+                            fault_extra + extra,
+                        );
                     }
-                    return self.advance_hop(to, from, msg, path, 0);
+                    if primary_lost {
+                        return false;
+                    }
+                    return self.enter_hop_path(to, from, msg, path, fault_extra);
                 }
             }
         }
@@ -338,17 +457,47 @@ impl<M> Engine<M> {
         }
         let at = self.now + delay + fault_extra;
         if let Some(extra) = fault_dup {
+            self.deliver_or_forward(at + extra, to, from, msg.clone());
+        }
+        if primary_lost {
+            // Only the duplicate survived path loss; it was scheduled
+            // above, but the primary send still reports failure.
+            return false;
+        }
+        self.deliver_or_forward(at, to, from, msg);
+        true
+    }
+
+    /// Enter the queueing data plane for one packet copy. With no extra
+    /// delay the packet transits the first link immediately — preserving
+    /// event order (and byte-identity) for fault-free runs; with a
+    /// fault-injected offset it enters link 0 at `now + offset` via a
+    /// [`EventKind::Hop`] event, so the extra delay the fault layer
+    /// charged (and counted in [`Counters::faults_delayed`]) is actually
+    /// paid on the hop path too.
+    fn enter_hop_path(
+        &mut self,
+        to: HostId,
+        from: HostId,
+        msg: M,
+        path: std::sync::Arc<[vdm_topology::EdgeId]>,
+        offset: SimTime,
+    ) -> bool {
+        if offset == SimTime::ZERO {
+            self.advance_hop(to, from, msg, path, 0)
+        } else {
             self.push(
-                at + extra,
-                EventKind::Deliver {
+                self.now + offset,
+                EventKind::Hop {
                     to,
                     from,
-                    msg: msg.clone(),
+                    msg,
+                    path,
+                    next: 0,
                 },
             );
+            true
         }
-        self.push(at, EventKind::Deliver { to, from, msg });
-        true
     }
 
     /// Move a data packet into link `path[next]` at the current time;
@@ -682,5 +831,162 @@ mod tests {
         eng.run_to_idle(&mut w);
         // One-way latency is 5 ms; the slowdown makes it 50 ms.
         assert_eq!(w.deliveries, vec![(SimTime::from_ms(50.0), HostId(1))]);
+    }
+
+    /// `host0 — r0 — host1`, 1 ms per link, shared bandwidth setting.
+    fn routed_chain(bandwidth_mbps: f64) -> Arc<dyn Underlay + Send + Sync> {
+        use vdm_topology::graph::{LinkAttrs, NodeKind};
+        let mut g = vdm_topology::Graph::new();
+        let h0 = g.add_node(NodeKind::Host);
+        let r0 = g.add_node(NodeKind::Stub);
+        let h1 = g.add_node(NodeKind::Host);
+        let attrs = LinkAttrs {
+            delay_ms: 1.0,
+            loss: 0.0,
+            bandwidth_mbps,
+        };
+        g.add_edge(h0, r0, attrs);
+        g.add_edge(r0, h1, attrs);
+        Arc::new(crate::underlay::RoutedUnderlay::new(g, vec![h0, h1]))
+    }
+
+    fn msg_faults(
+        drop_p: f64,
+        dup_p: f64,
+        spike_p: f64,
+        spike: SimTime,
+    ) -> crate::faults::FaultPlan {
+        crate::faults::FaultPlan::with_events(
+            1,
+            vec![crate::faults::FaultEvent::MsgFaults {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(100),
+                drop_p,
+                dup_p,
+                reorder_p: 0.0,
+                // Zero: duplicates get no extra delay of their own, so
+                // the hop-path tests below control entry order exactly.
+                reorder_max: SimTime::ZERO,
+                spike_p,
+                spike,
+            }],
+        )
+    }
+
+    /// Regression (ISSUE 9, bugfix 1): a fault-injected delay spike on a
+    /// data packet taking the queueing hop path used to be *counted*
+    /// (`faults_delayed`, `FaultApplied{fate:"delay"}`) but never
+    /// *applied* — the packet entered its first link immediately.
+    #[test]
+    fn fault_delay_is_paid_on_the_data_plane_hop_path() {
+        let mut eng = Engine::new(routed_chain(100.0), 1);
+        eng.enable_data_plane(DataPlaneConfig::default());
+        eng.set_fault_plan(msg_faults(0.0, 0.0, 1.0, SimTime::from_ms(100.0)));
+        let mut w = fresh_world(0);
+        assert!(eng.send(HostId(0), HostId(1), 999, SendClass::Data));
+        eng.run_to_idle(&mut w);
+        assert_eq!(eng.counters().faults_delayed, 1);
+        assert_eq!(w.deliveries.len(), 1);
+        let at = w.deliveries[0].0;
+        // 100 ms spike + 2 × (1 ms propagation + 0.1 ms serialization).
+        assert!(
+            at >= SimTime::from_ms(100.0),
+            "delivered at {at}: the spike was counted but not paid"
+        );
+        assert_eq!(at, SimTime::from_ms(102.2));
+    }
+
+    /// Regression (ISSUE 9, bugfix 2): on the non-data-plane path a
+    /// fault duplicate used to share one path-loss sample with the
+    /// original — when that sample dropped "the pair", only one
+    /// `data_dropped` was recorded and the already-counted duplicate
+    /// vanished without a trace. Copies now sample loss independently,
+    /// so the books balance exactly:
+    /// `delivered + data_dropped == data_sent + faults_duplicated`.
+    #[test]
+    fn duplicate_loss_is_sampled_per_copy() {
+        let mut eng = Engine::new(two_host_space(0.5), 9);
+        eng.set_fault_plan(msg_faults(0.0, 1.0, 0.0, SimTime::ZERO));
+        let mut w = fresh_world(0);
+        for _ in 0..400 {
+            eng.send(HostId(0), HostId(1), 999, SendClass::Data);
+        }
+        eng.run_to_idle(&mut w);
+        let c = eng.counters();
+        assert_eq!(c.data_sent, 400);
+        assert_eq!(c.faults_duplicated, 400);
+        assert_eq!(
+            c.delivered + c.data_dropped,
+            c.data_sent + c.faults_duplicated,
+            "a copy went missing from the books: {c:?}"
+        );
+        // 800 independent copies at 50 % loss: both extremes must occur.
+        assert!(c.data_dropped > 0 && c.delivered > 0);
+        assert!(
+            (300..=500).contains(&c.delivered),
+            "delivered {} of 800 copies at 50 % loss",
+            c.delivered
+        );
+    }
+
+    /// A duplicate may survive path loss when the original does not:
+    /// `send` still reports the original's drop (return contract), but
+    /// the duplicate is delivered.
+    #[test]
+    fn surviving_duplicate_outlives_lost_original() {
+        let mut eng = Engine::new(two_host_space(0.5), 3);
+        eng.set_fault_plan(msg_faults(0.0, 1.0, 0.0, SimTime::ZERO));
+        let mut w = fresh_world(0);
+        let mut orig_lost_dup_delivered = 0u64;
+        for _ in 0..200 {
+            let before = eng.counters().delivered;
+            let ok = eng.send(HostId(0), HostId(1), 999, SendClass::Data);
+            eng.run_to_idle(&mut w);
+            let arrived = eng.counters().delivered - before;
+            if !ok && arrived == 1 {
+                orig_lost_dup_delivered += 1;
+            }
+        }
+        // P(original lost, duplicate through) = 0.25 per send.
+        assert!(
+            orig_lost_dup_delivered > 10,
+            "only {orig_lost_dup_delivered} duplicates outlived their lost original"
+        );
+    }
+
+    /// Regression (ISSUE 9, bugfix 3): the duplicate's `advance_hop`
+    /// outcome on the data-plane path is not part of `send`'s return
+    /// value — by contract — but its congestion drop must land in the
+    /// counters so delivered/dropped reconciliation still closes.
+    #[test]
+    fn duplicate_congestion_drops_land_in_counters() {
+        // 1 Mbit/s → 10 ms serialization; zero buffer: any packet that
+        // has to queue at all is dropped.
+        let mut eng = Engine::new(routed_chain(1.0), 1);
+        eng.enable_data_plane(DataPlaneConfig {
+            packet_bits: 10_000.0,
+            buffer_ms: 0.0,
+        });
+        eng.set_fault_plan(msg_faults(0.0, 1.0, 0.0, SimTime::ZERO));
+        let mut w = fresh_world(0);
+        // The duplicate enters the first link ahead of the original, so
+        // the original queues behind it and is dropped — reported by the
+        // return value.
+        assert!(!eng.send(HostId(0), HostId(1), 999, SendClass::Data));
+        // Same instant, second exchange: this time the duplicate itself
+        // is the queued copy. Its drop is invisible to the caller by
+        // contract, but must be counted.
+        assert!(!eng.send(HostId(0), HostId(1), 999, SendClass::Data));
+        eng.run_to_idle(&mut w);
+        let c = eng.counters();
+        assert_eq!(c.data_sent, 2);
+        assert_eq!(c.faults_duplicated, 2);
+        assert_eq!(c.delivered, 1, "exactly the first duplicate gets through");
+        assert_eq!(c.data_congestion_dropped, 3);
+        assert_eq!(
+            c.delivered + c.data_dropped,
+            c.data_sent + c.faults_duplicated,
+            "a congestion-dropped duplicate went missing: {c:?}"
+        );
     }
 }

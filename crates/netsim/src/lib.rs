@@ -14,7 +14,12 @@
 //!   the PlanetLab analogue);
 //! * [`faults`] — seeded fault-injection schedules (link flaps,
 //!   partitions, message-level faults, node slowdowns) applied at the
-//!   engine's send hook for chaos experiments.
+//!   engine's send hook for chaos experiments;
+//! * [`shard`] — conservative parallel DES: one [`engine::Engine`] per
+//!   host shard advancing in lookahead-bounded lock-step windows, with
+//!   cross-shard deliveries exchanged at window barriers in a
+//!   scheduling-independent order (bit-reproducible at fixed shard
+//!   count; `S = 1` delegates to the plain engine byte-identically).
 //!
 //! The engine is strictly deterministic: events are ordered by
 //! `(time, sequence-number)` and all randomness flows from one seeded RNG,
@@ -24,11 +29,13 @@
 pub mod dataplane;
 pub mod engine;
 pub mod faults;
+pub mod shard;
 pub mod time;
 pub mod underlay;
 
 pub use dataplane::{DataPlane, DataPlaneConfig};
 pub use engine::{Engine, SendClass, World};
 pub use faults::{ChaosSpec, FaultEvent, FaultPlan, SendFate};
+pub use shard::{ShardMap, ShardedEngine};
 pub use time::SimTime;
-pub use underlay::{HostId, LatencySpace, RoutedUnderlay, Underlay};
+pub use underlay::{HostId, LatencySpace, RoutedUnderlay, ShardedUnderlay, Underlay};

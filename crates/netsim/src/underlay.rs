@@ -271,6 +271,124 @@ impl Underlay for RoutedUnderlay {
     }
 }
 
+/// Hierarchical O(1) distance oracle over a sharded power-law underlay
+/// (`vdm_topology::shard`), for 100k+-host sharded runs.
+///
+/// Routing is gateway routing: a packet climbs from its host to the
+/// shard gateway, rides the gateway backbone, and descends — so the
+/// one-way delay decomposes as `up[a] + core[shard(a)][shard(b)] + up[b]`
+/// (`core` zero within a shard). Every query is O(1) with
+/// O(hosts + shards²) memory: no dense matrix, no per-source routing
+/// rows, no LRU to thrash at 100k hosts. There are no modelled physical
+/// links (`path_edges` is `None` — per-link stress and the queueing data
+/// plane stay with [`RoutedUnderlay`]), no jitter, and no path loss.
+///
+/// The minimum off-diagonal `core` entry lower-bounds every cross-shard
+/// delay, which makes [`ShardedUnderlay::min_cross_shard_delay_ms`] the
+/// lookahead oracle for `crate::shard::ShardedEngine`.
+pub struct ShardedUnderlay {
+    /// Per host: delay to its shard gateway, ms.
+    up_ms: Vec<Millis>,
+    /// Flattened `S × S` gateway backbone delay table, ms.
+    core_ms: Vec<Millis>,
+    /// Host-id boundaries per shard (`S + 1` entries).
+    bounds: Vec<u32>,
+    min_cross_ms: Millis,
+}
+
+impl ShardedUnderlay {
+    /// Build from a generated sharded topology.
+    pub fn new(t: &vdm_topology::shard::ShardedPowerLaw) -> Self {
+        Self::from_parts(t.up_ms.clone(), t.core_ms.clone(), t.host_bounds.clone())
+    }
+
+    /// Build from the raw decomposition (tests).
+    ///
+    /// # Panics
+    /// Panics when dimensions disagree, a delay is negative/non-finite,
+    /// or the core diagonal is non-zero.
+    pub fn from_parts(up_ms: Vec<Millis>, core_ms: Vec<Millis>, bounds: Vec<u32>) -> Self {
+        assert!(bounds.len() >= 2 && bounds[0] == 0);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let s = bounds.len() - 1;
+        assert_eq!(core_ms.len(), s * s, "core table must be S × S");
+        assert_eq!(
+            up_ms.len(),
+            *bounds.last().unwrap() as usize,
+            "one up-cost per host"
+        );
+        assert!(up_ms.iter().all(|&u| u.is_finite() && u >= 0.0));
+        let mut min_cross = f64::INFINITY;
+        for a in 0..s {
+            for b in 0..s {
+                let c = core_ms[a * s + b];
+                if a == b {
+                    assert!(c == 0.0, "core diagonal must be zero");
+                } else {
+                    assert!(c.is_finite() && c > 0.0, "backbone disconnected");
+                    min_cross = min_cross.min(c);
+                }
+            }
+        }
+        Self {
+            up_ms,
+            core_ms,
+            bounds,
+            min_cross_ms: min_cross,
+        }
+    }
+
+    /// Shard owning host `h`.
+    #[inline]
+    pub fn shard_of(&self, h: HostId) -> u32 {
+        (self.bounds.partition_point(|&b| b <= h.0) - 1) as u32
+    }
+
+    /// Host-id boundaries per shard (for building a matching
+    /// `crate::shard::ShardMap`).
+    pub fn shard_bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Lower bound on any cross-shard one-way delay, ms (`INFINITY`
+    /// for a single shard): the conservative-DES lookahead.
+    pub fn min_cross_shard_delay_ms(&self) -> Millis {
+        self.min_cross_ms
+    }
+}
+
+impl Underlay for ShardedUnderlay {
+    fn num_hosts(&self) -> usize {
+        *self.bounds.last().unwrap() as usize
+    }
+
+    fn rtt_ms(&self, a: HostId, b: HostId) -> Millis {
+        2.0 * self.one_way_ms(a, b)
+    }
+
+    fn one_way_ms(&self, a: HostId, b: HostId) -> Millis {
+        if a == b {
+            return 0.0;
+        }
+        let (sa, sb) = (self.shard_of(a), self.shard_of(b));
+        let s = self.num_shards();
+        self.up_ms[a.idx()] + self.core_ms[sa as usize * s + sb as usize] + self.up_ms[b.idx()]
+    }
+
+    fn path_loss(&self, _a: HostId, _b: HostId) -> f64 {
+        0.0
+    }
+
+    fn path_edges(&self, _a: HostId, _b: HostId) -> Option<Vec<EdgeId>> {
+        None
+    }
+}
+
 /// Per-host "lazy responder" profile: with probability `prob`, a packet
 /// *received by* this host is delayed by up to `extra_ms` more.
 ///

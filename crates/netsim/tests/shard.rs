@@ -1,0 +1,371 @@
+//! Sharded-engine determinism suite (ISSUE 9 tentpole gates).
+//!
+//! The contract under test, in order of strength:
+//!
+//! 1. `S = 1` is *byte-identical* to the plain [`Engine`] per seed — the
+//!    sharded path must be a pure delegation, not a reimplementation;
+//! 2. at fixed `S > 1`, runs are bit-reproducible across repeated runs
+//!    and across execution modes (one thread per shard vs. fully
+//!    sequential) — the barrier merge order `(at, src_shard, seq)` is a
+//!    function of simulation state, never of thread scheduling;
+//! 3. cross-shard mailbox draining never delivers an event before the
+//!    destination shard's clock (the lookahead window invariant),
+//!    property-tested over random topologies and traffic.
+//!
+//! Reproducibility across *different* `S` is deliberately not asserted:
+//! each shard owns an RNG stream, so the shard count changes the random
+//! universe (DESIGN.md §12).
+
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use rand::Rng;
+use std::sync::Arc;
+use vdm_netsim::engine::Counters;
+use vdm_netsim::underlay::ShardedUnderlay;
+use vdm_netsim::{
+    Engine, HostId, LatencySpace, SendClass, ShardMap, ShardedEngine, SimTime, Underlay, World,
+};
+
+/// Deterministic traffic storm. Every delivery re-emits one message with
+/// a decremented TTL to a pseudo-random target drawn from the driving
+/// engine's RNG — so the trace exercises per-shard RNG streams, mixed
+/// send classes, and (on multi-shard underlays) cross-shard mailboxes.
+struct Storm {
+    /// Hosts this world owns; sends only ever originate here.
+    range: std::ops::Range<u32>,
+    n: u32,
+    trace: Vec<(u64, u32, u32, u64)>,
+    timers: Vec<(u64, u32, u64)>,
+}
+
+impl Storm {
+    fn new(range: std::ops::Range<u32>, n: u32) -> Self {
+        Self {
+            range,
+            n,
+            trace: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+}
+
+impl World for Storm {
+    type Msg = u64;
+
+    fn on_deliver(&mut self, eng: &mut Engine<u64>, to: HostId, from: HostId, ttl: u64) {
+        assert!(self.range.contains(&to.0), "delivery for a foreign host");
+        self.trace.push((eng.now().0, to.0, from.0, ttl));
+        if ttl == 0 {
+            return;
+        }
+        let r = eng.rng().gen::<u32>();
+        let target = HostId((to.0 + 1 + r % (self.n - 1)) % self.n);
+        let class = if r % 3 == 0 {
+            SendClass::Control
+        } else {
+            SendClass::Data
+        };
+        eng.send(to, target, ttl - 1, class);
+        if r % 5 == 0 {
+            eng.set_timer(to, SimTime::from_ms(1.5), ttl);
+        }
+    }
+
+    fn on_timer(&mut self, eng: &mut Engine<u64>, host: HostId, token: u64) {
+        self.timers.push((eng.now().0, host.0, token));
+    }
+
+    fn on_external(&mut self, eng: &mut Engine<u64>, token: u64) {
+        // Kick off a storm chain from this shard's first host.
+        let src = HostId(self.range.start);
+        let target = HostId((src.0 + 1) % self.n);
+        eng.send(src, target, token, SendClass::Data);
+    }
+}
+
+/// An 8-host latency space with jitter and loss, so the engine RNG is
+/// consulted on every data send and every delivery sample.
+fn jittery_space() -> Arc<dyn Underlay + Send + Sync> {
+    let n = 8;
+    let mut rtt = vec![vec![0.0; n]; n];
+    for (i, row) in rtt.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            if i != j {
+                *cell = 8.0 + 3.0 * (i as f64 - j as f64).abs();
+            }
+        }
+    }
+    Arc::new(
+        LatencySpace::from_rtt_matrix(&rtt)
+            .with_uniform_loss(0.1)
+            .with_jitter(0.2),
+    )
+}
+
+type RunFingerprint = (
+    Vec<(u64, u32, u32, u64)>,
+    Vec<(u64, u32, u64)>,
+    Counters,
+    u64,
+);
+
+fn run_plain_engine(seed: u64) -> RunFingerprint {
+    let mut eng = Engine::new(jittery_space(), seed);
+    let mut w = Storm::new(0..8, 8);
+    for k in 0..4u64 {
+        eng.schedule_external(SimTime::from_ms(k as f64), 6 + k);
+    }
+    eng.run_to_idle(&mut w);
+    (w.trace, w.timers, eng.counters(), eng.events_processed())
+}
+
+fn run_sharded_single(seed: u64) -> RunFingerprint {
+    let mut se = ShardedEngine::single(jittery_space(), seed);
+    let mut worlds = vec![Storm::new(0..8, 8)];
+    for k in 0..4u64 {
+        se.engine_mut(0)
+            .schedule_external(SimTime::from_ms(k as f64), 6 + k);
+    }
+    se.run_to_idle(&mut worlds);
+    let w = worlds.pop().unwrap();
+    (w.trace, w.timers, se.counters(), se.events_processed())
+}
+
+/// `S = 1` must be the plain engine, byte for byte: same delivery trace
+/// (times, hosts, payloads), same timers, same counters, same event
+/// count — per seed.
+#[test]
+fn s1_is_byte_identical_to_the_plain_engine() {
+    for seed in [1u64, 7, 42, 1234] {
+        let plain = run_plain_engine(seed);
+        let sharded = run_sharded_single(seed);
+        assert_eq!(plain, sharded, "S = 1 diverged from Engine at seed {seed}");
+        assert!(!plain.0.is_empty(), "storm produced no traffic");
+    }
+}
+
+/// Synthetic sharded underlay with full control over the lookahead: all
+/// up-costs small, every backbone entry ≥ `LOOKAHEAD_MS`.
+const LOOKAHEAD_MS: f64 = 20.0;
+
+fn synthetic_sharded(hosts: usize, shards: usize) -> Arc<ShardedUnderlay> {
+    let map = ShardMap::contiguous(hosts, shards);
+    let up: Vec<f64> = (0..hosts).map(|i| 0.5 + (i % 5) as f64 * 0.4).collect();
+    let mut core = vec![0.0; shards * shards];
+    for a in 0..shards {
+        for b in 0..shards {
+            if a != b {
+                core[a * shards + b] = LOOKAHEAD_MS + (a + b) as f64;
+            }
+        }
+    }
+    Arc::new(ShardedUnderlay::from_parts(up, core, map.bounds().to_vec()))
+}
+
+fn run_sharded(
+    hosts: usize,
+    shards: usize,
+    seed: u64,
+    parallel: bool,
+) -> (Vec<RunFingerprint>, u64) {
+    let u = synthetic_sharded(hosts, shards);
+    let map = ShardMap::from_bounds(u.shard_bounds().to_vec());
+    assert!(u.min_cross_shard_delay_ms() >= LOOKAHEAD_MS);
+    let mut se = ShardedEngine::new(
+        Arc::clone(&u) as Arc<dyn Underlay + Send + Sync>,
+        seed,
+        map.clone(),
+        SimTime::from_ms(LOOKAHEAD_MS),
+    );
+    se.set_parallel(parallel);
+    let mut worlds: Vec<Storm> = (0..shards)
+        .map(|s| Storm::new(map.range(s as u32), hosts as u32))
+        .collect();
+    for s in 0..shards {
+        se.engine_mut(s)
+            .schedule_external(SimTime::from_ms(s as f64), 8);
+    }
+    se.run_to_idle(&mut worlds);
+    let cross = se.cross_events();
+    let fps = worlds
+        .iter()
+        .enumerate()
+        .map(|(s, w)| {
+            (
+                w.trace.clone(),
+                w.timers.clone(),
+                se.engine(s).counters(),
+                se.engine(s).events_processed(),
+            )
+        })
+        .collect();
+    (fps, cross)
+}
+
+/// Fixed `S > 1` is bit-reproducible: repeated parallel runs agree with
+/// each other *and* with a fully sequential run — per shard, down to
+/// every delivery timestamp and counter. This is the scheduling-
+/// independence guarantee of the `(at, src_shard, seq)` barrier merge.
+#[test]
+fn fixed_shard_count_is_reproducible_across_runs_and_thread_modes() {
+    for shards in [2usize, 4] {
+        let (a, cross_a) = run_sharded(16, shards, 99, true);
+        let (b, cross_b) = run_sharded(16, shards, 99, true);
+        let (c, cross_c) = run_sharded(16, shards, 99, false);
+        assert!(cross_a > 0, "storm never crossed a shard boundary");
+        assert_eq!(cross_a, cross_b);
+        assert_eq!(cross_a, cross_c);
+        assert_eq!(a, b, "two parallel runs diverged at S = {shards}");
+        assert_eq!(a, c, "parallel and sequential diverged at S = {shards}");
+        let (d, _) = run_sharded(16, shards, 100, true);
+        assert_ne!(a, d, "different seeds should differ");
+    }
+}
+
+/// Horizon semantics match the plain engine: `run(until)` processes
+/// events at exactly `until`, leaves later ones pending, and anchors
+/// every shard clock at the horizon.
+#[test]
+fn run_until_horizon_is_inclusive_and_resumable() {
+    let u = synthetic_sharded(8, 2);
+    let map = ShardMap::from_bounds(u.shard_bounds().to_vec());
+    let mut se = ShardedEngine::new(
+        u as Arc<dyn Underlay + Send + Sync>,
+        5,
+        map.clone(),
+        SimTime::from_ms(LOOKAHEAD_MS),
+    );
+    let mut worlds: Vec<Storm> = (0..2).map(|s| Storm::new(map.range(s), 8)).collect();
+    se.engine_mut(0)
+        .schedule_external(SimTime::from_ms(1.0), 10);
+    se.engine_mut(1)
+        .schedule_external(SimTime::from_ms(2.0), 10);
+    let horizon = SimTime::from_ms(40.0);
+    let n1 = se.run(&mut worlds, horizon);
+    assert!(n1 > 0);
+    assert_eq!(se.now(), horizon);
+    assert!(worlds
+        .iter()
+        .all(|w| w.trace.iter().all(|&(t, ..)| t <= horizon.0)));
+    // Resume to idle: the storm continues past the horizon.
+    let n2 = se.run_to_idle(&mut worlds);
+    assert!(n2 > 0, "nothing was pending past the horizon");
+    assert!(se.is_idle());
+}
+
+/// Property world: checks the window invariant from the inside. Every
+/// message payload carries its send time; a cross-shard delivery must
+/// arrive at least one lookahead later, and a shard's delivery times
+/// must be non-decreasing.
+struct CheckWorld {
+    range: std::ops::Range<u32>,
+    n: u32,
+    map: ShardMap,
+    lookahead_us: u64,
+    last_now: u64,
+    violations: u64,
+    deliveries: u64,
+    cross_seen: u64,
+}
+
+impl World for CheckWorld {
+    type Msg = (u64, u64); // (ttl, sent_at_us)
+
+    fn on_deliver(
+        &mut self,
+        eng: &mut Engine<(u64, u64)>,
+        to: HostId,
+        from: HostId,
+        m: (u64, u64),
+    ) {
+        let now = eng.now().0;
+        let (ttl, sent) = m;
+        self.deliveries += 1;
+        if now < self.last_now {
+            self.violations += 1;
+        }
+        self.last_now = now;
+        if self.map.shard_of(from) != self.map.shard_of(to) {
+            self.cross_seen += 1;
+            if now < sent + self.lookahead_us {
+                self.violations += 1;
+            }
+        }
+        if ttl > 0 {
+            let r = eng.rng().gen::<u32>();
+            let target = HostId((to.0 + 1 + r % (self.n - 1)) % self.n);
+            eng.send(to, target, (ttl - 1, now), SendClass::Control);
+        }
+    }
+
+    fn on_timer(&mut self, _eng: &mut Engine<(u64, u64)>, _host: HostId, _token: u64) {}
+
+    fn on_external(&mut self, eng: &mut Engine<(u64, u64)>, ttl: u64) {
+        let src = HostId(self.range.start);
+        let target = HostId((src.0 + 1) % self.n);
+        eng.send(src, target, (ttl, eng.now().0), SendClass::Control);
+    }
+}
+
+proptest! {
+    /// Over random shard counts, host counts, backbone delays and kick
+    /// schedules: cross-shard mailbox draining never delivers an event
+    /// before the destination shard's clock (`inject_remote` would
+    /// panic) nor earlier than `send + lookahead`, and per-shard
+    /// delivery times stay monotone.
+    #[test]
+    fn mailbox_drain_never_delivers_before_now(
+        seed in 0u64..1 << 32,
+        shards in 2usize..5,
+        hosts_per_shard in 2usize..5,
+        core_base in 5.0f64..50.0,
+        kicks in 1usize..5,
+    ) {
+        let hosts = shards * hosts_per_shard;
+        let map = ShardMap::contiguous(hosts, shards);
+        let up: Vec<f64> = (0..hosts).map(|i| 0.3 + (i % 4) as f64 * 0.7).collect();
+        let mut core = vec![0.0; shards * shards];
+        for a in 0..shards {
+            for b in 0..shards {
+                if a != b {
+                    core[a * shards + b] = core_base + ((a + b) % 3) as f64;
+                }
+            }
+        }
+        let u = Arc::new(ShardedUnderlay::from_parts(up, core, map.bounds().to_vec()));
+        let lookahead = SimTime::from_ms(u.min_cross_shard_delay_ms());
+        let mut se = ShardedEngine::new(
+            Arc::clone(&u) as Arc<dyn Underlay + Send + Sync>,
+            seed,
+            map.clone(),
+            lookahead,
+        );
+        let mut worlds: Vec<CheckWorld> = (0..shards)
+            .map(|s| CheckWorld {
+                range: map.range(s as u32),
+                n: hosts as u32,
+                map: map.clone(),
+                lookahead_us: lookahead.0,
+                last_now: 0,
+                violations: 0,
+                deliveries: 0,
+                cross_seen: 0,
+            })
+            .collect();
+        for s in 0..shards {
+            for k in 0..kicks {
+                se.engine_mut(s).schedule_external(
+                    SimTime::from_ms(k as f64 * 0.7),
+                    5 + (k as u64 % 3),
+                );
+            }
+        }
+        se.run_to_idle(&mut worlds);
+        let cross: u64 = worlds.iter().map(|w| w.cross_seen).sum();
+        let delivered: u64 = worlds.iter().map(|w| w.deliveries).sum();
+        prop_assert!(delivered > 0, "no traffic at all");
+        prop_assert!(cross > 0, "no cross-shard traffic exercised");
+        for (s, w) in worlds.iter().enumerate() {
+            prop_assert_eq!(w.violations, 0, "shard {} saw early deliveries", s);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Flat per-host state arena (SoA layout).
+//!
+//! The driver used to scatter per-host state over parallel `Vec`s inside
+//! `WorldState`; the sharded engine wants that state to be *sliceable* —
+//! each shard world owning a contiguous host-id block — so the layout is
+//! factored out here. A [`HostArena`] is a struct-of-arrays over one
+//! contiguous host-id range `base..base + len`: protocol slot (present
+//! while the host runs an agent), session membership, incarnation
+//! counter, and degree limit — all indexed by host id minus base, never
+//! by hash.
+//!
+//! The whole-simulation case is `base = 0`; a sharded run carves one
+//! arena per shard with [`HostArena::per_shard`], whose ranges are
+//! exactly the `ShardMap` blocks.
+
+use vdm_netsim::shard::ShardMap;
+use vdm_netsim::HostId;
+
+/// Struct-of-arrays per-host state over a contiguous host-id range.
+pub struct HostArena<T> {
+    base: u32,
+    slots: Vec<Option<T>>,
+    in_session: Vec<bool>,
+    incarnations: Vec<u32>,
+    limits: Vec<u32>,
+}
+
+impl<T> HostArena<T> {
+    /// Arena over hosts `0..limits.len()` (the unsharded case).
+    pub fn new(limits: Vec<u32>) -> Self {
+        Self::for_range(0, limits)
+    }
+
+    /// Arena over hosts `base..base + limits.len()`.
+    pub fn for_range(base: u32, limits: Vec<u32>) -> Self {
+        let n = limits.len();
+        Self {
+            base,
+            slots: (0..n).map(|_| None).collect(),
+            in_session: vec![false; n],
+            incarnations: vec![0; n],
+            limits,
+        }
+    }
+
+    /// One arena per shard of `map`, each owning its contiguous block
+    /// of `limits` (which must cover the whole map).
+    pub fn per_shard(limits: &[u32], map: &ShardMap) -> Vec<Self> {
+        assert_eq!(limits.len(), map.num_hosts(), "one limit per host");
+        (0..map.num_shards())
+            .map(|s| {
+                let r = map.range(s as u32);
+                Self::for_range(r.start, limits[r.start as usize..r.end as usize].to_vec())
+            })
+            .collect()
+    }
+
+    /// First host id owned.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of hosts owned.
+    pub fn len(&self) -> usize {
+        self.limits.len()
+    }
+
+    /// True when the arena owns no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.limits.is_empty()
+    }
+
+    /// True when `h` falls in this arena's range.
+    pub fn contains(&self, h: HostId) -> bool {
+        h.0 >= self.base && ((h.0 - self.base) as usize) < self.len()
+    }
+
+    #[inline]
+    fn idx(&self, h: HostId) -> usize {
+        debug_assert!(self.contains(h), "host {h} outside arena range");
+        (h.0 - self.base) as usize
+    }
+
+    /// The hosts owned, in id order.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        (self.base..self.base + self.len() as u32).map(HostId)
+    }
+
+    /// Shared access to `h`'s slot.
+    pub fn get(&self, h: HostId) -> Option<&T> {
+        self.slots[self.idx(h)].as_ref()
+    }
+
+    /// Mutable access to `h`'s slot.
+    pub fn get_mut(&mut self, h: HostId) -> Option<&mut T> {
+        let i = self.idx(h);
+        self.slots[i].as_mut()
+    }
+
+    /// Install `h`'s slot, replacing (and returning) any previous one.
+    pub fn insert(&mut self, h: HostId, value: T) -> Option<T> {
+        let i = self.idx(h);
+        self.slots[i].replace(value)
+    }
+
+    /// Clear `h`'s slot.
+    pub fn remove(&mut self, h: HostId) -> Option<T> {
+        let i = self.idx(h);
+        self.slots[i].take()
+    }
+
+    /// Is `h` currently in the session?
+    pub fn in_session(&self, h: HostId) -> bool {
+        self.in_session[self.idx(h)]
+    }
+
+    /// Mark `h`'s session membership.
+    pub fn set_in_session(&mut self, h: HostId, yes: bool) {
+        let i = self.idx(h);
+        self.in_session[i] = yes;
+    }
+
+    /// `h`'s current incarnation number.
+    pub fn incarnation(&self, h: HostId) -> u32 {
+        self.incarnations[self.idx(h)]
+    }
+
+    /// Return `h`'s incarnation and advance it — the driver stamps each
+    /// new agent with the pre-bump value, so rejoins are distinguishable
+    /// from stale messages.
+    pub fn bump_incarnation(&mut self, h: HostId) -> u32 {
+        let i = self.idx(h);
+        let inc = self.incarnations[i];
+        self.incarnations[i] += 1;
+        inc
+    }
+
+    /// `h`'s degree limit.
+    pub fn limit(&self, h: HostId) -> u32 {
+        self.limits[self.idx(h)]
+    }
+
+    /// All degree limits, in host-id order (for `TreeSnapshot::validate`;
+    /// only meaningful on a `base = 0` arena covering every host).
+    pub fn limits(&self) -> &[u32] {
+        &self.limits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_range_basics() {
+        let mut a: HostArena<&'static str> = HostArena::new(vec![4, 4, 2]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.base(), 0);
+        assert!(a.contains(HostId(2)) && !a.contains(HostId(3)));
+        assert!(a.get(HostId(1)).is_none());
+        assert!(a.insert(HostId(1), "x").is_none());
+        assert_eq!(a.get(HostId(1)), Some(&"x"));
+        assert_eq!(a.limit(HostId(2)), 2);
+        assert!(!a.in_session(HostId(1)));
+        a.set_in_session(HostId(1), true);
+        assert!(a.in_session(HostId(1)));
+        assert_eq!(a.bump_incarnation(HostId(1)), 0);
+        assert_eq!(a.bump_incarnation(HostId(1)), 1);
+        assert_eq!(a.incarnation(HostId(1)), 2);
+        assert_eq!(a.remove(HostId(1)), Some("x"));
+        assert!(a.get(HostId(1)).is_none());
+        assert_eq!(
+            a.hosts().collect::<Vec<_>>(),
+            vec![HostId(0), HostId(1), HostId(2)]
+        );
+    }
+
+    #[test]
+    fn per_shard_slices_follow_the_map() {
+        let map = ShardMap::contiguous(10, 3);
+        let limits: Vec<u32> = (0..10).collect();
+        let arenas: Vec<HostArena<u8>> = HostArena::per_shard(&limits, &map);
+        assert_eq!(arenas.len(), 3);
+        assert_eq!(arenas[0].base(), 0);
+        assert_eq!(arenas[1].base(), 4);
+        assert_eq!(arenas[2].base(), 7);
+        assert_eq!(arenas[1].len(), 3);
+        assert!(arenas[1].contains(HostId(5)));
+        assert!(!arenas[1].contains(HostId(7)));
+        assert_eq!(arenas[1].limit(HostId(5)), 5);
+        assert_eq!(arenas[2].hosts().next(), Some(HostId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside arena range")]
+    fn out_of_range_access_panics_in_debug() {
+        let a: HostArena<u8> = HostArena::for_range(5, vec![1, 1]);
+        let _ = a.get(HostId(2));
+    }
+}

@@ -3,6 +3,7 @@
 //! takes the paper's measurements at the scheduled points.
 
 use crate::agent::{AgentFactory, Ctx, OverlayAgent};
+use crate::arena::HostArena;
 use crate::metrics::{mst_ratio, TreeMetrics};
 use crate::msg::Msg;
 use crate::scenario::{Action, Scenario};
@@ -64,10 +65,9 @@ struct WorldState<F: AgentFactory> {
     factory: F,
     cfg: DriverConfig,
     source: HostId,
-    agents: Vec<Option<F::Agent>>,
-    in_session: Vec<bool>,
-    incarnations: Vec<u32>,
-    limits: Vec<u32>,
+    /// Flat per-host state (agent slot, session bit, incarnation, degree
+    /// limit), one contiguous arena covering every host.
+    hosts: HostArena<F::Agent>,
     stats: RunStats,
     actions: Vec<(SimTime, Action)>,
     routed: Option<Arc<RoutedUnderlay>>,
@@ -90,9 +90,9 @@ impl<F: AgentFactory> WorldState<F> {
         host: HostId,
         f: impl FnOnce(&mut F::Agent, &mut Ctx<'_>) -> R,
     ) -> Option<R> {
-        // Split borrows: the agent lives in `agents`, the context needs
+        // Split borrows: the agent lives in `hosts`, the context needs
         // `stats` — distinct fields.
-        let agent = self.agents[host.idx()].as_mut()?;
+        let agent = self.hosts.get_mut(host)?;
         let mut ctx = Ctx {
             me: host,
             eng,
@@ -103,7 +103,7 @@ impl<F: AgentFactory> WorldState<F> {
     }
 
     fn snapshot(&self) -> TreeSnapshot {
-        let n = self.agents.len();
+        let n = self.hosts.len();
         let mut parent = vec![None; n];
         let mut members = Vec::new();
         for (i, slot) in parent.iter_mut().enumerate() {
@@ -111,9 +111,9 @@ impl<F: AgentFactory> WorldState<F> {
             if h == self.source {
                 continue;
             }
-            if self.in_session[i] {
+            if self.hosts.in_session(h) {
                 members.push(h);
-                if let Some(a) = &self.agents[i] {
+                if let Some(a) = self.hosts.get(h) {
                     *slot = a.parent();
                 }
             }
@@ -137,7 +137,7 @@ impl<F: AgentFactory> WorldState<F> {
                 None
             },
         );
-        let errors = snap.validate(&self.limits).len();
+        let errors = snap.validate(self.hosts.limits()).len();
         if errors > 0 {
             self.stats
                 .recovery
@@ -223,9 +223,9 @@ impl<F: AgentFactory> World for WorldState<F> {
             let seq = self.seq;
             self.stats.source_chunks += 1;
             // Every in-session member should see this chunk.
-            for i in 0..self.agents.len() {
-                if self.in_session[i] && HostId(i as u32) != self.source {
-                    self.stats.expected[i] += 1;
+            for h in self.hosts.hosts() {
+                if self.hosts.in_session(h) && h != self.source {
+                    self.stats.expected[h.idx()] += 1;
                 }
             }
             self.dispatch(eng, self.source, |a, ctx| a.emit_data(ctx, seq));
@@ -238,15 +238,14 @@ impl<F: AgentFactory> World for WorldState<F> {
         let (_, action) = self.actions[token as usize];
         match action {
             Action::Join(h) => {
-                if !self.in_session[h.idx()] && h != self.source {
-                    self.in_session[h.idx()] = true;
-                    let inc = self.incarnations[h.idx()];
-                    self.incarnations[h.idx()] += 1;
-                    self.agents[h.idx()] =
-                        Some(self.factory.make(h, self.source, self.limits[h.idx()], inc));
+                if !self.hosts.in_session(h) && h != self.source {
+                    self.hosts.set_in_session(h, true);
+                    let inc = self.hosts.bump_incarnation(h);
+                    let agent = self.factory.make(h, self.source, self.hosts.limit(h), inc);
+                    self.hosts.insert(h, agent);
                     if let Some(dc) = &self.discovery {
                         let now = eng.now();
-                        if let Some(a) = self.agents[h.idx()].as_mut() {
+                        if let Some(a) = self.hosts.get_mut(h) {
                             a.configure_discovery(dc, now);
                         }
                     }
@@ -254,18 +253,18 @@ impl<F: AgentFactory> World for WorldState<F> {
                 }
             }
             Action::Leave(h) => {
-                if self.in_session[h.idx()] && h != self.source {
+                if self.hosts.in_session(h) && h != self.source {
                     self.dispatch(eng, h, |a, ctx| a.on_leave_cmd(ctx));
-                    self.agents[h.idx()] = None;
-                    self.in_session[h.idx()] = false;
+                    self.hosts.remove(h);
+                    self.hosts.set_in_session(h, false);
                 }
             }
             Action::Crash(h) => {
                 // Ungraceful: the agent vanishes with no notifications;
                 // neighbours find out through heartbeat/data timeouts.
-                if self.in_session[h.idx()] && h != self.source {
-                    self.agents[h.idx()] = None;
-                    self.in_session[h.idx()] = false;
+                if self.hosts.in_session(h) && h != self.source {
+                    self.hosts.remove(h);
+                    self.hosts.set_in_session(h, false);
                 }
             }
             Action::Measure => self.measure(eng),
@@ -311,10 +310,7 @@ impl<F: AgentFactory> Driver<F> {
             factory,
             cfg,
             source,
-            agents: (0..n).map(|_| None).collect(),
-            in_session: vec![false; n],
-            incarnations: vec![0; n],
-            limits,
+            hosts: HostArena::new(limits),
             stats: RunStats::new(n),
             actions: scenario.actions.clone(),
             routed,
@@ -327,16 +323,14 @@ impl<F: AgentFactory> Driver<F> {
             last_chunks: 0,
         };
         // The source agent exists for the whole run.
-        world.agents[source.idx()] = Some(world.factory.make(
-            source,
-            source,
-            world.limits[source.idx()],
-            0,
-        ));
+        let src_agent = world
+            .factory
+            .make(source, source, world.hosts.limit(source), 0);
+        world.hosts.insert(source, src_agent);
         if let Some(dc) = &world.discovery {
             // The source never probes (it owns the tree) but needs the
             // serving budget to answer bootstrap probes.
-            if let Some(a) = world.agents[source.idx()].as_mut() {
+            if let Some(a) = world.hosts.get_mut(source) {
                 a.configure_discovery(dc, SimTime::ZERO);
             }
         }
@@ -379,9 +373,9 @@ impl<F: AgentFactory> Driver<F> {
     /// the currently-largest interior node) between [`Driver::run_until`]
     /// steps, which a precomputed scenario cannot express.
     pub fn crash_now(&mut self, h: HostId) {
-        if h != self.world.source && self.world.in_session[h.idx()] {
-            self.world.agents[h.idx()] = None;
-            self.world.in_session[h.idx()] = false;
+        if h != self.world.source && self.world.hosts.in_session(h) {
+            self.world.hosts.remove(h);
+            self.world.hosts.set_in_session(h, false);
         }
     }
 
@@ -407,7 +401,7 @@ impl<F: AgentFactory> Driver<F> {
 
     /// Borrow an agent (tests/diagnostics).
     pub fn agent(&self, h: HostId) -> Option<&F::Agent> {
-        self.world.agents[h.idx()].as_ref()
+        self.world.hosts.get(h)
     }
 }
 

@@ -17,6 +17,9 @@
 //! * [`agent`] — the message-driven peer agent ([`agent::ProtocolAgent`])
 //!   that runs walks, answers queries, forwards the stream, reconnects
 //!   orphans at the grandparent and optionally refines periodically;
+//! * [`arena`] — flat struct-of-arrays per-host state ([`HostArena`])
+//!   indexed by contiguous host id, so a sharded run can hand each shard
+//!   world its own contiguous slice of driver state;
 //! * [`discovery`] — decentralized bootstrap membership: iterative peer
 //!   discovery from a small seed set over a gossiped partial view, so a
 //!   walk can start from a discovered live anchor instead of the source;
@@ -38,6 +41,7 @@
 //! * [`stats`] — run statistics and measurement records.
 
 pub mod agent;
+pub mod arena;
 pub mod coords;
 pub mod discovery;
 pub mod driver;
@@ -53,6 +57,7 @@ pub mod tree;
 pub mod walk;
 
 pub use agent::{AdmissionConfig, AgentConfig, Ctx, OverlayAgent, ProtocolAgent, ResilienceConfig};
+pub use arena::HostArena;
 pub use coords::{Coord, CoordSample, CoordTable, CoordsConfig, VivaldiState};
 pub use discovery::{DiscoveryConfig, DiscoveryState};
 pub use driver::{Driver, DriverConfig, RunOutput};

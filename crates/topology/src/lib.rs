@@ -11,6 +11,9 @@
 //!   studies;
 //! * [`powerlaw`] — Barabási–Albert preferential-attachment graphs
 //!   (AS-level-Internet-like degree distributions);
+//! * [`shard`] — shard-aware power-law underlays (per-shard clusters
+//!   joined by gateway links) with the `min_cross_shard_delay` lookahead
+//!   oracle the sharded engine synchronizes on;
 //! * [`geo`] — geographic site pools (continent clusters, great-circle
 //!   latency) that back the emulated-PlanetLab substrate;
 //! * [`spath`] — Dijkstra single-source and all-pairs shortest paths with
@@ -32,6 +35,7 @@ pub mod graph;
 pub mod mst;
 pub mod powerlaw;
 pub mod router;
+pub mod shard;
 pub mod spath;
 pub mod transit_stub;
 pub mod waxman;
