@@ -1,0 +1,203 @@
+//! Simulator-vs-core equivalence: the [`Driver`] (engine-backed io) and
+//! a hand-rolled event loop over [`ProtocolCore`]s (buffered io) run the
+//! *same* factory-made agents over the *same* uniform lossless network
+//! and must converge to the same tree and the same delivery counts.
+//!
+//! This is the load-bearing test for the sans-io extraction: the mini
+//! loop below is a stand-in for any real runtime (the `vdm-node` daemon
+//! included) — it owns the clock, the timer wheel, and the "network",
+//! and touches the protocol only through `Input`/`Output` values. If it
+//! diverges from the engine path, the seam leaks.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use vdm_core::VdmFactory;
+use vdm_netsim::{HostId, LatencySpace, SimTime};
+use vdm_overlay::agent::AgentFactory;
+use vdm_overlay::driver::{Driver, DriverConfig};
+use vdm_overlay::msg::Msg;
+use vdm_overlay::scenario::{Action, Scenario};
+use vdm_overlay::{Input, Output, OverlayAgent, ProtocolCore};
+
+const N: usize = 8;
+const SOURCE: HostId = HostId(0);
+const RTT_MS: f64 = 20.0;
+const ONE_WAY: SimTime = SimTime(10_000); // rtt/2 in µs
+const DATA_INTERVAL: SimTime = SimTime(500_000);
+const END: SimTime = SimTime(30_000_000);
+const DEGREE: u32 = 4;
+
+fn join_time(h: usize) -> SimTime {
+    // Staggered wider than a walk round-trip so join walks never
+    // overlap; the outcome is then schedule-independent.
+    SimTime::from_ms(1_000.0 + 500.0 * (h - 1) as f64)
+}
+
+fn uniform_space() -> LatencySpace {
+    let rtt: Vec<Vec<f64>> = (0..N)
+        .map(|i| (0..N).map(|j| if i == j { 0.0 } else { RTT_MS }).collect())
+        .collect();
+    LatencySpace::from_rtt_matrix(&rtt)
+}
+
+/// The engine-backed reference run.
+fn driver_run() -> (Vec<Option<HostId>>, Vec<u64>, u64, u64) {
+    let actions: Vec<(SimTime, Action)> = (1..N)
+        .map(|h| (join_time(h), Action::Join(HostId(h as u32))))
+        .collect();
+    let scenario = Scenario::from_actions(actions, END);
+    let out = Driver::new(
+        Arc::new(uniform_space()),
+        None,
+        SOURCE,
+        VdmFactory::delay_based(),
+        &scenario,
+        vec![DEGREE; N],
+        DriverConfig {
+            data_interval: Some(DATA_INTERVAL),
+            ..DriverConfig::default()
+        },
+        7,
+    )
+    .run();
+    (
+        out.final_snapshot.parent,
+        out.stats.received,
+        out.stats.source_chunks,
+        out.stats.join_completions,
+    )
+}
+
+/// What the mini runtime's "network" is busy with.
+#[derive(Debug)]
+enum Ev {
+    Join(HostId),
+    Emit(u64),
+    Deliver { to: HostId, from: HostId, msg: Msg },
+    Timer { host: HostId, token: u64 },
+}
+
+/// The same session over sans-io cores: a discrete event loop that owns
+/// delivery (fixed one-way delay), timers, and the emit schedule —
+/// mirroring the engine's (time, insertion-order) tie-breaking.
+fn core_run() -> (Vec<Option<HostId>>, Vec<u64>, u64, u64) {
+    let factory = VdmFactory::delay_based();
+    let mut cores: Vec<_> = (0..N)
+        .map(|h| {
+            let agent = factory.make(HostId(h as u32), SOURCE, DEGREE, 0);
+            ProtocolCore::new(HostId(h as u32), agent, N, 7)
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+    let mut store: Vec<Option<Ev>> = Vec::new();
+    let push = |heap: &mut BinaryHeap<_>, store: &mut Vec<Option<Ev>>, at: SimTime, ev: Ev| {
+        let id = store.len() as u64;
+        store.push(Some(ev));
+        heap.push(Reverse((at, id)));
+    };
+
+    // Same schedule order as the driver: scenario actions, then the
+    // first data tick (which reschedules itself).
+    for h in 1..N {
+        push(
+            &mut heap,
+            &mut store,
+            join_time(h),
+            Ev::Join(HostId(h as u32)),
+        );
+    }
+    push(&mut heap, &mut store, SimTime::ZERO, Ev::Emit(1));
+
+    let mut joined = [false; N];
+    joined[SOURCE.idx()] = true;
+    let mut source_chunks = 0u64;
+
+    while let Some(Reverse((at, id))) = heap.pop() {
+        if at > END {
+            break;
+        }
+        let ev = store[id as usize].take().expect("event fired once");
+        let (host, input) = match ev {
+            Ev::Join(h) => {
+                joined[h.idx()] = true;
+                (h, Input::Join)
+            }
+            Ev::Emit(seq) => {
+                source_chunks += 1;
+                let next = at + DATA_INTERVAL;
+                if next <= END {
+                    push(&mut heap, &mut store, next, Ev::Emit(seq + 1));
+                }
+                (SOURCE, Input::EmitData { seq })
+            }
+            Ev::Deliver { to, from, msg } => {
+                // The driver drops messages to hosts that have not
+                // joined yet (no agent in the arena).
+                if !joined[to.idx()] {
+                    continue;
+                }
+                (to, Input::Packet { from, msg })
+            }
+            Ev::Timer { host, token } => (host, Input::Timer { token }),
+        };
+        let outputs: Vec<Output> = cores[host.idx()].handle(at, input).collect();
+        for out in outputs {
+            match out {
+                Output::Send { to, msg, class: _ } => {
+                    push(
+                        &mut heap,
+                        &mut store,
+                        at + ONE_WAY,
+                        Ev::Deliver {
+                            to,
+                            from: host,
+                            msg,
+                        },
+                    );
+                }
+                Output::Timer { delay, token } => {
+                    push(&mut heap, &mut store, at + delay, Ev::Timer { host, token });
+                }
+            }
+        }
+    }
+
+    let parents = cores
+        .iter()
+        .map(|c| {
+            if c.host() == SOURCE {
+                None
+            } else {
+                c.agent().parent()
+            }
+        })
+        .collect();
+    let received = (0..N).map(|h| cores[h].stats().received[h]).collect();
+    let joins = cores.iter().map(|c| c.stats().join_completions).sum();
+    // EmitData inputs also count chunks core-side; both tallies must
+    // agree with the loop's own count.
+    let core_chunks = cores[SOURCE.idx()].stats().source_chunks;
+    assert_eq!(core_chunks, source_chunks);
+    (parents, received, source_chunks, joins)
+}
+
+#[test]
+fn core_loop_matches_the_driver() {
+    let (d_parents, d_received, d_chunks, d_joins) = driver_run();
+    let (c_parents, c_received, c_chunks, c_joins) = core_run();
+
+    assert_eq!(d_chunks, c_chunks, "source emitted chunk counts differ");
+    assert_eq!(d_joins, c_joins, "join completion counts differ");
+    assert_eq!(d_parents, c_parents, "final trees differ");
+    assert_eq!(d_received, c_received, "per-host delivery counts differ");
+
+    // And the run did something: everyone joined, everyone streamed.
+    assert_eq!(c_joins, (N - 1) as u64);
+    for h in 1..N {
+        assert!(c_parents[h].is_some(), "host {h} never attached");
+        assert!(c_received[h] > 0, "host {h} received nothing");
+    }
+}

@@ -771,8 +771,99 @@ const ALL: &[&str] = &[
     "compare",
 ];
 
+/// `vdm-repro loopback`: spawn a fleet of real `vdm-node` daemons on
+/// 127.0.0.1, stream a session through the UDP overlay, and gate the
+/// aggregated stats against an in-process simulator run of the same
+/// scenario (see `vdm_experiments::loopback`). Emits
+/// `BENCH_loopback.json`; any gate failure exits non-zero.
+fn run_loopback(args: &[String]) -> io::Result<()> {
+    use vdm_experiments::loopback;
+    let mut cfg = loopback::LoopbackConfig::full();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                smoke = true;
+                let keep = (cfg.node_bin.clone(), cfg.out_dir.clone(), cfg.seed);
+                cfg = loopback::LoopbackConfig::smoke();
+                (cfg.node_bin, cfg.out_dir, cfg.seed) = keep;
+            }
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 2)
+                    .ok_or_else(|| io::Error::other("--nodes needs an integer >= 2"))?;
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| io::Error::other("--seed needs an integer"))?;
+            }
+            "--node-bin" => {
+                cfg.node_bin = Some(
+                    it.next()
+                        .ok_or_else(|| io::Error::other("--node-bin needs a path"))?
+                        .clone(),
+                );
+            }
+            "--csv" => {
+                cfg.out_dir = it
+                    .next()
+                    .ok_or_else(|| io::Error::other("--csv needs a directory"))?
+                    .clone();
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "unknown loopback argument: {other}"
+                )));
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let report = loopback::run(&cfg)?;
+    let json = report.to_json(smoke, cfg.seed);
+    std::fs::create_dir_all(&cfg.out_dir).map_err(io_ctx(format!(
+        "creating loopback directory `{}`",
+        cfg.out_dir
+    )))?;
+    let path = format!("{}/BENCH_loopback.json", cfg.out_dir);
+    std::fs::write(&path, &json).map_err(io_ctx(format!("writing loopback report `{path}`")))?;
+    println!("  [json] {path}");
+    println!(
+        "  [loopback] {} nodes: delivery daemon {:.4} vs sim {:.4}, joins {}/{}, \
+         reconnects {} (sim {}), violations {}",
+        report.nodes,
+        report.daemon_delivery,
+        report.sim_delivery,
+        report.daemon_joins,
+        report.nodes - 1,
+        report.daemon_reconnects,
+        report.sim_reconnects,
+        report.daemon_violations,
+    );
+    println!("[done loopback in {:.1?}]", t0.elapsed());
+    if !report.failures.is_empty() {
+        return Err(io::Error::other(format!(
+            "loopback gates failed: {}",
+            report.failures.join("; ")
+        )));
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `loopback` owns its own argument grammar (fleet controls).
+    if args.first().is_some_and(|a| a == "loopback") {
+        if let Err(e) = run_loopback(&args[1..]) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     // `trace` owns its own argument grammar (run vs inspect modes).
     if args.first().is_some_and(|a| a == "trace") {
         match args.get(1).map(String::as_str) {
@@ -941,6 +1032,7 @@ fn print_usage() {
          \x20      vdm-repro scale [--quick|--paper] [--smoke] [--shards N] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro multitree [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
          \x20      vdm-repro bootstrap [--quick|--paper] [--smoke] [--seed N] [--csv DIR]\n\
+         \x20      vdm-repro loopback [--smoke] [--nodes N] [--seed N] [--node-bin PATH] [--csv DIR]\n\
          \x20      vdm-repro trace <family> [--quick|--paper] [--seed N] [--out DIR]\n\
          \x20                  [--csv DIR] [--cache DIR|--no-cache]\n\
          \x20      vdm-repro trace filter|summarize|dump --input FILE\n\

@@ -11,6 +11,7 @@
 pub mod ci;
 pub mod extract;
 pub mod figures;
+pub mod loopback;
 pub mod proto;
 pub mod runner;
 pub mod setup;

@@ -37,5 +37,5 @@ pub use dataplane::{DataPlane, DataPlaneConfig};
 pub use engine::{Engine, SendClass, World};
 pub use faults::{ChaosSpec, FaultEvent, FaultPlan, SendFate};
 pub use shard::{ShardMap, ShardedEngine};
-pub use time::SimTime;
+pub use time::{SimTime, WallClock};
 pub use underlay::{HostId, LatencySpace, RoutedUnderlay, ShardedUnderlay, Underlay};

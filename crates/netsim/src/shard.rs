@@ -48,14 +48,19 @@ impl ShardMap {
             num_hosts >= shards,
             "need at least one host per shard ({num_hosts} hosts, {shards} shards)"
         );
-        let base = num_hosts / shards;
-        let extra = num_hosts % shards;
+        // Host ids are u32 on the wire; a host count past that space
+        // used to truncate the upper boundaries silently, folding the
+        // tail of the id space onto the head.
+        let top = u32::try_from(num_hosts)
+            .unwrap_or_else(|_| panic!("{num_hosts} hosts exceed the u32 host-id space"));
+        let base = top / shards as u32;
+        let extra = top as usize % shards;
         let mut bounds = Vec::with_capacity(shards + 1);
         bounds.push(0u32);
-        let mut at = 0usize;
+        let mut at = 0u32;
         for s in 0..shards {
-            at += base + usize::from(s < extra);
-            bounds.push(at as u32);
+            at += base + u32::from(s < extra);
+            bounds.push(at);
         }
         Self { bounds }
     }
@@ -432,5 +437,21 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn from_bounds_rejects_empty_blocks() {
         ShardMap::from_bounds(vec![0, 5, 5, 10]);
+    }
+
+    #[test]
+    fn contiguous_covers_the_full_u32_id_space() {
+        // The whole u32 space is a legal host count; the boundaries
+        // used to truncate past it instead of refusing.
+        let m = ShardMap::contiguous(u32::MAX as usize, 4);
+        assert_eq!(m.num_hosts(), u32::MAX as usize);
+        assert_eq!(m.range(3).end, u32::MAX);
+        assert_eq!(m.shard_of(HostId(u32::MAX - 1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the u32 host-id space")]
+    fn contiguous_rejects_counts_past_u32() {
+        ShardMap::contiguous(u32::MAX as usize + 1, 4);
     }
 }

@@ -7,6 +7,7 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::time::{Duration, Instant};
 
 /// A point in simulated time (microseconds since simulation start).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -45,6 +46,71 @@ impl SimTime {
     /// Saturating difference.
     pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// From a wall-clock [`Duration`] (truncated to whole microseconds
+    /// — a real clock must never round *forward* past a deadline it has
+    /// not reached). Saturates one tick *below* [`SimTime::MAX`]: the
+    /// sentinel means "disabled timer / far future" and must never be
+    /// produced from a real clock, however absurd the elapsed time.
+    pub fn from_duration(d: Duration) -> Self {
+        let us = d.as_micros();
+        SimTime(u64::try_from(us).unwrap_or(u64::MAX).min(u64::MAX - 1))
+    }
+
+    /// As a wall-clock [`Duration`], or `None` for the [`SimTime::MAX`]
+    /// far-future sentinel (a daemon must not sleep toward it).
+    pub fn to_duration(self) -> Option<Duration> {
+        if self == SimTime::MAX {
+            None
+        } else {
+            Some(Duration::from_micros(self.0))
+        }
+    }
+}
+
+/// Monotonic wall-clock → [`SimTime`] mapper for real runtimes.
+///
+/// Protocol time starts at [`SimTime::ZERO`] when the clock is created
+/// and advances with [`Instant`], which the OS guarantees monotonic —
+/// but the mapper re-enforces monotonicity itself (`high` watermark) so
+/// a platform whose `Instant` steps backward (or a caller replaying
+/// stamped timestamps out of order) still yields non-decreasing
+/// protocol time, which the engine-facing state machines require.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+    high: SimTime,
+}
+
+impl WallClock {
+    /// Start protocol time now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            high: SimTime::ZERO,
+        }
+    }
+
+    /// Current protocol time (non-decreasing across calls; never the
+    /// [`SimTime::MAX`] sentinel).
+    pub fn now(&mut self) -> SimTime {
+        self.map(Instant::now())
+    }
+
+    /// Map an externally captured instant (non-decreasing across
+    /// calls; instants before the epoch or before the watermark clamp
+    /// to the watermark).
+    pub fn map(&mut self, at: Instant) -> SimTime {
+        let t = SimTime::from_duration(at.saturating_duration_since(self.epoch));
+        self.high = self.high.max(t);
+        self.high
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -132,5 +198,57 @@ mod tests {
     fn ordering_and_display() {
         assert!(SimTime::from_ms(1.0) < SimTime::from_ms(2.0));
         assert_eq!(format!("{}", SimTime::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn duration_conversion_truncates_toward_zero() {
+        // Sub-microsecond remainders are dropped, never rounded up: a
+        // real clock must not report a deadline as reached early.
+        assert_eq!(SimTime::from_duration(Duration::from_nanos(1_999)).0, 1);
+        assert_eq!(SimTime::from_duration(Duration::from_nanos(999)).0, 0);
+        assert_eq!(SimTime::from_duration(Duration::from_millis(3)).0, 3_000);
+        assert_eq!(SimTime::from_duration(Duration::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn duration_round_trips_below_the_sentinel() {
+        let t = SimTime::from_secs(90);
+        assert_eq!(t.to_duration(), Some(Duration::from_secs(90)));
+        assert_eq!(SimTime::from_duration(t.to_duration().unwrap()), t);
+        assert_eq!(SimTime(0).to_duration(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn real_clocks_never_produce_the_far_future_sentinel() {
+        // Even an absurd wall-clock duration saturates one microsecond
+        // below MAX, so "disabled timer" stays unambiguous.
+        let absurd = Duration::from_secs(u64::MAX);
+        let t = SimTime::from_duration(absurd);
+        assert!(t < SimTime::MAX);
+        assert_eq!(t, SimTime(u64::MAX - 1));
+        // And the sentinel itself refuses to become a sleep duration.
+        assert_eq!(SimTime::MAX.to_duration(), None);
+        assert!(SimTime(u64::MAX - 1).to_duration().is_some());
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_under_backward_steps() {
+        let mut clock = WallClock::new();
+        let epoch = clock.epoch;
+        let t1 = clock.map(epoch + Duration::from_millis(50));
+        assert_eq!(t1, SimTime::from_ms(50.0));
+        // A step backward (or an instant captured before the epoch)
+        // clamps to the watermark instead of rewinding protocol time.
+        let t2 = clock.map(epoch + Duration::from_millis(20));
+        assert_eq!(t2, t1);
+        let t3 = clock.map(epoch);
+        assert_eq!(t3, t1);
+        // Forward progress resumes once the clock passes the watermark.
+        let t4 = clock.map(epoch + Duration::from_millis(80));
+        assert_eq!(t4, SimTime::from_ms(80.0));
+        // Live reads are monotone too and never the sentinel.
+        let a = clock.now();
+        let b = clock.now();
+        assert!(a <= b && b < SimTime::MAX);
     }
 }

@@ -1,0 +1,129 @@
+//! End-to-end loopback session: spawn real `vdm-node` processes, let
+//! them build a tree over 127.0.0.1 UDP and stream a short session,
+//! then aggregate their stats files. This is the small always-on cousin
+//! of the 100+-process `vdm-repro loopback` harness.
+
+use std::collections::BTreeMap;
+use std::net::UdpSocket;
+use std::path::Path;
+use std::process::Command;
+
+const N: usize = 8;
+
+/// Grab `n` distinct free UDP ports. Binding-then-dropping has an
+/// inherent reuse race, but the window between drop and the child's
+/// bind is milliseconds on a quiet CI box; a collision fails loudly
+/// (child exits non-zero) rather than corrupting the assertion.
+fn free_ports(n: usize) -> Vec<u16> {
+    let sockets: Vec<UdpSocket> = (0..n)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind ephemeral"))
+        .collect();
+    sockets
+        .iter()
+        .map(|s| s.local_addr().unwrap().port())
+        .collect()
+}
+
+fn parse_stats(path: &Path) -> BTreeMap<String, f64> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let obj = vdm_trace::json::parse_flat_object(&text)
+        .unwrap_or_else(|| panic!("unparseable stats file {}: {text}", path.display()));
+    obj.into_iter()
+        .map(|(k, v)| {
+            let num = match v {
+                vdm_trace::json::Value::Bool(b) => f64::from(u8::from(b)),
+                other => other
+                    .as_num()
+                    .unwrap_or_else(|| panic!("non-numeric stat {k} in {}", path.display())),
+            };
+            (k, num)
+        })
+        .collect()
+}
+
+#[test]
+fn eight_process_loopback_session_streams() {
+    let dir = std::env::temp_dir().join(format!("vdm-loopback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ports = free_ports(N);
+
+    let peers_path = dir.join("peers.txt");
+    let peers: String = ports
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("{i} 127.0.0.1:{p}\n"))
+        .collect();
+    std::fs::write(&peers_path, peers).unwrap();
+
+    // 8 s wall-clock: joins stagger over the first second, the source
+    // streams at 20 chunks/s from t=2s to t=6.5s, the tail lets
+    // repairs drain.
+    let mut children = Vec::new();
+    for i in 0..N {
+        let child = Command::new(env!("CARGO_BIN_EXE_vdm-node"))
+            .args([
+                "--id",
+                &i.to_string(),
+                "--source",
+                "0",
+                "--peers",
+                peers_path.to_str().unwrap(),
+                "--run-s",
+                "8",
+                "--chunk-interval-ms",
+                "50",
+                "--emit-start-ms",
+                "2000",
+                "--emit-stop-before-s",
+                "1.5",
+                "--join-delay-ms",
+                &(i * 120).to_string(),
+                "--seed",
+                "11",
+                "--stats-out",
+                dir.join(format!("stats-{i}.json")).to_str().unwrap(),
+            ])
+            .spawn()
+            .expect("spawn vdm-node");
+        children.push(child);
+    }
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait vdm-node");
+        assert!(status.success(), "node {i} exited with {status}");
+    }
+
+    let stats: Vec<BTreeMap<String, f64>> = (0..N)
+        .map(|i| parse_stats(&dir.join(format!("stats-{i}.json"))))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let chunks = stats[0]["source_chunks"];
+    assert!(
+        chunks >= 80.0,
+        "source emitted only {chunks} chunks in a 4.5 s window"
+    );
+
+    let mut total_received = 0.0;
+    for (i, s) in stats.iter().enumerate().skip(1) {
+        assert_eq!(s["connected"], 1.0, "node {i} finished detached: {s:?}");
+        assert!(s["parent"] >= 0.0, "node {i} has no parent: {s:?}");
+        assert_eq!(s["join_completions"], 1.0, "node {i} joins: {s:?}");
+        // Everyone hears essentially the whole stream on a lossless
+        // loopback; leave slack for chunks emitted mid-join.
+        assert!(
+            s["received_chunks"] >= 0.9 * chunks,
+            "node {i} received {} of {chunks} chunks",
+            s["received_chunks"]
+        );
+        total_received += s["received_chunks"];
+    }
+    assert!(total_received >= 0.9 * chunks * (N - 1) as f64);
+
+    for (i, s) in stats.iter().enumerate() {
+        assert_eq!(s["invariant_violations"], 0.0, "node {i}: {s:?}");
+        assert_eq!(s["decode_errors"], 0.0, "node {i}: {s:?}");
+        assert_eq!(s["unknown_dest_drops"], 0.0, "node {i}: {s:?}");
+        assert_eq!(s["send_errors"], 0.0, "node {i}: {s:?}");
+    }
+}

@@ -10,6 +10,7 @@
 //! atomic).
 
 use crate::coords::{CoordSample, CoordsConfig, VivaldiState};
+use crate::core::CoreIo;
 use crate::msg::{ChildEntry, ConnKind, ConnResult, Msg};
 use crate::peer::PeerState;
 use crate::repair::{ChunkClass, GapTracker, RepairConfig, RetransmitRing};
@@ -17,7 +18,7 @@ use crate::stats::RunStats;
 use crate::walk::{Walk, WalkConfig, WalkOutcome, WalkPolicy, WalkPurpose, WALK_TOKEN_BIT};
 use rand::Rng;
 use std::collections::VecDeque;
-use vdm_netsim::{Engine, HostId, SendClass, SimTime};
+use vdm_netsim::{HostId, SendClass, SimTime};
 
 /// Timer token for the periodic refinement trigger.
 pub const REFINE_TOKEN: u64 = 1 << 61;
@@ -198,8 +199,10 @@ impl Default for AgentConfig {
 pub struct Ctx<'a> {
     /// The agent's own host id.
     pub me: HostId,
-    /// The event engine (time, sends, timers, run RNG).
-    pub eng: &'a mut Engine<Msg>,
+    /// The effect sink (time, sends, timers, run RNG): the event
+    /// engine in simulation, a buffered queue under a real runtime
+    /// (see [`crate::core`]).
+    pub io: &'a mut dyn CoreIo,
     /// Shared run statistics.
     pub stats: &'a mut RunStats,
     /// Noise amplitude for loss estimates (copied from the agent
@@ -210,7 +213,7 @@ pub struct Ctx<'a> {
 impl Ctx<'_> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.eng.now()
+        self.io.now()
     }
 
     /// Send a message (control or data, classified automatically).
@@ -223,20 +226,20 @@ impl Ctx<'_> {
         } else {
             SendClass::Control
         };
-        self.eng.send(self.me, to, msg, class);
+        self.io.send_msg(self.me, to, msg, class);
     }
 
     /// Arm a timer for this host.
     pub fn timer(&mut self, delay: SimTime, token: u64) {
-        self.eng.set_timer(self.me, delay, token);
+        self.io.set_timer(self.me, delay, token);
     }
 
     /// Emit a structured trace event stamped with the current
     /// simulation time. No-op (the closure never runs) unless the
-    /// engine carries an enabled [`vdm_trace::Tracer`].
+    /// io carries an enabled [`vdm_trace::Tracer`].
     #[inline]
     pub fn trace(&self, f: impl FnOnce() -> vdm_trace::TraceEvent) {
-        self.eng.tracer().emit(self.eng.now().0, f);
+        self.io.tracer().emit(self.io.now().0, f);
     }
 
     /// Estimate the path loss probability toward `to` (models a probe
@@ -244,10 +247,10 @@ impl Ctx<'_> {
     /// loss-based virtual metrics (Chapter 4); the paper likewise
     /// obtains loss estimates from a measurement service in simulation.
     pub fn estimate_loss(&mut self, to: HostId) -> f64 {
-        let p = self.eng.underlay().path_loss(self.me, to);
+        let p = self.io.path_loss(self.me, to);
         if self.loss_probe_noise > 0.0 {
             let n = self.loss_probe_noise;
-            let noise = self.eng.rng().gen_range(-n..n);
+            let noise = self.io.rng().gen_range(-n..n);
             (p + noise).clamp(0.0, 0.99)
         } else {
             p
@@ -1910,7 +1913,7 @@ impl<P: WalkPolicy> OverlayAgent for ProtocolAgent<P> {
                     if self.state.connected() && !self.state.is_source && self.walk.is_none() {
                         let start =
                             self.policy
-                                .refine_start(&self.state, self.source, ctx.eng.rng());
+                                .refine_start(&self.state, self.source, ctx.io.rng());
                         self.start_walk(ctx, WalkPurpose::Refine, start);
                     }
                     ctx.timer(p, REFINE_TOKEN);
@@ -2053,7 +2056,7 @@ mod tests {
     use crate::msg::{ChildEntry, ConnKind, ConnResult};
     use crate::walk::{ProbeResult, WalkStep};
     use std::sync::Arc;
-    use vdm_netsim::{LatencySpace, World};
+    use vdm_netsim::{Engine, LatencySpace, World};
 
     /// Minimal policy: always attach to the node under examination.
     struct Attach;
@@ -2079,7 +2082,7 @@ mod tests {
                 let mut stats = RunStats::new(8);
                 let mut ctx = Ctx {
                     me: HostId(0),
-                    eng,
+                    io: eng,
                     stats: &mut stats,
                     loss_probe_noise: 0.0,
                 };
@@ -2093,7 +2096,7 @@ mod tests {
                 let mut stats = RunStats::new(8);
                 let mut ctx = Ctx {
                     me: HostId(0),
-                    eng,
+                    io: eng,
                     stats: &mut stats,
                     loss_probe_noise: 0.0,
                 };
@@ -2365,7 +2368,7 @@ mod tests {
         let mut stats = RunStats::new(8);
         let mut ctx = Ctx {
             me: HostId(0),
-            eng: &mut eng,
+            io: &mut eng,
             stats: &mut stats,
             loss_probe_noise: 0.0,
         };
@@ -2421,7 +2424,7 @@ mod tests {
         w.agent.on_msg(
             &mut Ctx {
                 me: HostId(0),
-                eng: &mut eng,
+                io: &mut eng,
                 stats: &mut RunStats::new(8),
                 loss_probe_noise: 0.0,
             },
@@ -2481,7 +2484,7 @@ mod tests {
         let mut stats = RunStats::new(8);
         w.agent.on_join_cmd(&mut Ctx {
             me: HostId(0),
-            eng: &mut eng,
+            io: &mut eng,
             stats: &mut stats,
             loss_probe_noise: 0.0,
         });
@@ -2565,7 +2568,7 @@ mod tests {
         let mut stats = RunStats::new(8);
         w.agent.on_join_cmd(&mut Ctx {
             me: HostId(0),
-            eng: &mut eng,
+            io: &mut eng,
             stats: &mut stats,
             loss_probe_noise: 0.0,
         });
@@ -2590,7 +2593,7 @@ mod tests {
         let mut stats = RunStats::new(8);
         w.agent.on_join_cmd(&mut Ctx {
             me: HostId(0),
-            eng: &mut eng,
+            io: &mut eng,
             stats: &mut stats,
             loss_probe_noise: 0.0,
         });
@@ -2950,7 +2953,7 @@ mod tests {
         w.agent.cross_repair_tick(
             &mut Ctx {
                 me: HostId(0),
-                eng: &mut eng,
+                io: &mut eng,
                 stats: &mut stats,
                 loss_probe_noise: 0.0,
             },
@@ -2971,7 +2974,7 @@ mod tests {
         w.agent.cross_repair_tick(
             &mut Ctx {
                 me: HostId(0),
-                eng: &mut eng,
+                io: &mut eng,
                 stats: &mut stats,
                 loss_probe_noise: 0.0,
             },
@@ -2999,7 +3002,7 @@ mod tests {
         w.agent.on_msg(
             &mut Ctx {
                 me: HostId(0),
-                eng: &mut eng,
+                io: &mut eng,
                 stats: &mut stats2,
                 loss_probe_noise: 0.0,
             },

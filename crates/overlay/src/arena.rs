@@ -32,8 +32,18 @@ impl<T> HostArena<T> {
     }
 
     /// Arena over hosts `base..base + limits.len()`.
+    ///
+    /// The range must fit the u32 host-id space: an end past `u32::MAX`
+    /// used to wrap silently in [`HostArena::hosts`], iterating the
+    /// wrong ids in release builds.
     pub fn for_range(base: u32, limits: Vec<u32>) -> Self {
         let n = limits.len();
+        u32::try_from(n)
+            .ok()
+            .and_then(|n32| base.checked_add(n32))
+            .unwrap_or_else(|| {
+                panic!("arena range {base}..{base}+{n} exceeds the u32 host-id space")
+            });
         Self {
             base,
             slots: (0..n).map(|_| None).collect(),
@@ -196,5 +206,22 @@ mod tests {
     fn out_of_range_access_panics_in_debug() {
         let a: HostArena<u8> = HostArena::for_range(5, vec![1, 1]);
         let _ = a.get(HostId(2));
+    }
+
+    #[test]
+    fn range_may_end_exactly_at_the_id_space_top() {
+        let a: HostArena<u8> = HostArena::for_range(u32::MAX - 2, vec![7, 8]);
+        assert!(a.contains(HostId(u32::MAX - 1)));
+        assert_eq!(
+            a.hosts().collect::<Vec<_>>(),
+            vec![HostId(u32::MAX - 2), HostId(u32::MAX - 1)]
+        );
+        assert_eq!(a.limit(HostId(u32::MAX - 1)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 host-id space")]
+    fn range_past_the_id_space_is_rejected() {
+        let _: HostArena<u8> = HostArena::for_range(u32::MAX - 1, vec![1, 1, 1]);
     }
 }

@@ -95,7 +95,7 @@ impl<F: AgentFactory> WorldState<F> {
         let agent = self.hosts.get_mut(host)?;
         let mut ctx = Ctx {
             me: host,
-            eng,
+            io: eng,
             stats: &mut self.stats,
             loss_probe_noise: self.cfg.loss_probe_noise,
         };

@@ -43,6 +43,7 @@
 pub mod agent;
 pub mod arena;
 pub mod coords;
+pub mod core;
 pub mod discovery;
 pub mod driver;
 pub mod metrics;
@@ -59,13 +60,14 @@ pub mod walk;
 pub use agent::{AdmissionConfig, AgentConfig, Ctx, OverlayAgent, ProtocolAgent, ResilienceConfig};
 pub use arena::HostArena;
 pub use coords::{Coord, CoordSample, CoordTable, CoordsConfig, VivaldiState};
+pub use core::{CoreIo, Input, Output, ProtocolCore};
 pub use discovery::{DiscoveryConfig, DiscoveryState};
 pub use driver::{Driver, DriverConfig, RunOutput};
 pub use metrics::TreeMetrics;
 pub use msg::Msg;
 pub use multitree::{
-    expand_faults, interior_overlap, interior_victim, striped_limits, CrossRepairAgent, MtSlot,
-    MultiTreeConfig, MultiTreeOutput, MultiTreeSession, StripedUnderlay,
+    expand_faults, fold_vid, interior_overlap, interior_victim, striped_limits, CrossRepairAgent,
+    MtSlot, MultiTreeConfig, MultiTreeOutput, MultiTreeSession, StripedUnderlay,
 };
 pub use repair::{GapTracker, RepairConfig, RetransmitRing};
 pub use scenario::{Action, Scenario};

@@ -65,11 +65,31 @@ pub struct StripedUnderlay {
     n: usize,
 }
 
+/// Fold `(tree, physical host)` into the virtual id space of a `k`-tree
+/// session over `n` physical hosts. Checked: a 100k-host, many-tree
+/// session folds ids well past 32 bits of headroom's comfort zone, and
+/// the old `(t * n + h) as u32` cast silently wrapped there — wrong
+/// *physical* hosts would have received every fault and message. Panics
+/// with a config diagnosis instead of truncating.
+pub fn fold_vid(t: usize, n: usize, h: HostId) -> HostId {
+    let v = t
+        .checked_mul(n)
+        .and_then(|tn| tn.checked_add(h.idx()))
+        .and_then(|v| u32::try_from(v).ok())
+        .unwrap_or_else(|| {
+            panic!("virtual id {t}*{n}+{h} overflows the u32 host-id space; lower k or n")
+        });
+    HostId(v)
+}
+
 impl StripedUnderlay {
     /// Wrap `inner` for a `k`-tree session.
     pub fn new(inner: Arc<dyn Underlay + Send + Sync>, k: usize) -> Self {
         let n = inner.num_hosts();
         assert!(k >= 1 && n >= 1);
+        // Reject sessions whose virtual id space does not fit u32 up
+        // front, so every later fold is infallible.
+        let _ = fold_vid(k - 1, n, HostId(n as u32 - 1));
         Self { inner, k, n }
     }
 
@@ -282,7 +302,7 @@ pub fn striped_limits(base: &[u32], k: usize, source: HostId, off_stripe_cap: u3
 /// `k`-tree session over `n` physical hosts, so a physical link outage
 /// or host slowdown hits every tree exactly like it would hit one.
 pub fn expand_faults(events: &[FaultEvent], k: usize, n: usize) -> Vec<FaultEvent> {
-    let vid = |t: usize, h: HostId| HostId((t * n + h.idx()) as u32);
+    let vid = |t: usize, h: HostId| fold_vid(t, n, h);
     let mut out = Vec::new();
     for ev in events {
         match ev {
@@ -424,7 +444,7 @@ where
         let agent = self.agents[host.idx()].as_mut()?;
         let mut ctx = Ctx {
             me: host,
-            eng,
+            io: eng,
             stats: &mut self.stats,
             loss_probe_noise: self.cfg.loss_probe_noise,
         };
@@ -432,7 +452,7 @@ where
     }
 
     fn src_vid(&self, t: usize) -> HostId {
-        HostId((t * self.n + self.source.idx()) as u32)
+        fold_vid(t, self.n, self.source)
     }
 
     /// Tree `t` in physical ids.
@@ -510,15 +530,15 @@ where
                         continue;
                     };
                     let p_phys = pp.idx() % n;
-                    let target = t * n + p_phys;
-                    let present = p_phys == self.source.idx() || self.in_session[target];
-                    if p_phys != h && present && self.agents[target].is_some() {
-                        sibling = Some(HostId(target as u32));
+                    let target = fold_vid(t, n, HostId(p_phys as u32));
+                    let present = p_phys == self.source.idx() || self.in_session[target.idx()];
+                    if p_phys != h && present && self.agents[target.idx()].is_some() {
+                        sibling = Some(target);
                         break;
                     }
                 }
                 if let Some(s) = sibling {
-                    self.dispatch(eng, HostId(vid as u32), |a, ctx| {
+                    self.dispatch(eng, fold_vid(t, n, HostId(h as u32)), |a, ctx| {
                         a.cross_repair_tick(ctx, s, latest)
                     });
                 }
@@ -673,19 +693,16 @@ where
                     return;
                 }
                 for t in 0..k {
-                    let vid = t * n + h.idx();
+                    let v = fold_vid(t, n, h);
+                    let vid = v.idx();
                     if !self.in_session[vid] {
                         self.in_session[vid] = true;
                         let inc = self.incarnations[vid];
                         self.incarnations[vid] += 1;
                         let src = self.src_vid(t);
-                        self.agents[vid] = Some(self.factories[t].make(
-                            HostId(vid as u32),
-                            src,
-                            self.limits[vid],
-                            inc,
-                        ));
-                        self.dispatch(eng, HostId(vid as u32), |a, ctx| a.on_join_cmd(ctx));
+                        self.agents[vid] =
+                            Some(self.factories[t].make(v, src, self.limits[vid], inc));
+                        self.dispatch(eng, v, |a, ctx| a.on_join_cmd(ctx));
                     }
                 }
             }
@@ -694,9 +711,10 @@ where
                     return;
                 }
                 for t in 0..k {
-                    let vid = t * n + h.idx();
+                    let v = fold_vid(t, n, h);
+                    let vid = v.idx();
                     if self.in_session[vid] {
-                        self.dispatch(eng, HostId(vid as u32), |a, ctx| a.on_leave_cmd(ctx));
+                        self.dispatch(eng, v, |a, ctx| a.on_leave_cmd(ctx));
                         self.agents[vid] = None;
                         self.in_session[vid] = false;
                     }
@@ -968,6 +986,35 @@ mod tests {
     use crate::scenario::ChurnConfig;
     use crate::walk::{ProbeResult, WalkPurpose, WalkStep};
     use vdm_netsim::LatencySpace;
+
+    #[test]
+    fn fold_vid_reaches_the_top_of_the_id_space() {
+        assert_eq!(fold_vid(0, 4, HostId(3)), HostId(3));
+        assert_eq!(fold_vid(2, 4, HostId(1)), HostId(9));
+        // t*n+h may legally land anywhere in u32.
+        let n = (u32::MAX as usize).div_ceil(2);
+        assert_eq!(fold_vid(1, n, HostId(n as u32 - 1)), HostId(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u32 host-id space")]
+    fn fold_vid_rejects_overflow_instead_of_truncating() {
+        // 100k hosts at 43k trees folds past u32::MAX; the old cast
+        // wrapped this onto low physical ids.
+        let _ = fold_vid(43_000, 100_000, HostId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u32 host-id space")]
+    fn expand_faults_rejects_overflowing_sessions() {
+        let ev = FaultEvent::Slowdown {
+            host: HostId(1),
+            factor: 2.0,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+        };
+        let _ = expand_faults(&[ev], 2, u32::MAX as usize);
+    }
 
     /// Depth-greedy policy: always descend into the first child —
     /// builds chains, so every non-tail member is interior.

@@ -275,7 +275,7 @@ pub(crate) fn scaled_delay(
     }
     if jitter_frac > 0.0 {
         use rand::Rng;
-        let f = 1.0 + ctx.eng.rng().gen_range(-jitter_frac..jitter_frac);
+        let f = 1.0 + ctx.io.rng().gen_range(-jitter_frac..jitter_frac);
         ms *= f.max(0.1);
     }
     SimTime::from_ms(ms)
@@ -896,7 +896,7 @@ mod tests {
         };
         let mut ctx = Ctx {
             me: HostId(0),
-            eng,
+            io: eng,
             stats,
             loss_probe_noise: 0.0,
         };
@@ -918,7 +918,7 @@ mod tests {
         };
         let mut ctx = Ctx {
             me: HostId(0),
-            eng,
+            io: eng,
             stats,
             loss_probe_noise: 0.0,
         };
@@ -939,7 +939,7 @@ mod tests {
         let mut walk = {
             let mut ctx = Ctx {
                 me: HostId(0),
-                eng: &mut eng,
+                io: &mut eng,
                 stats: &mut stats,
                 loss_probe_noise: 0.0,
             };
@@ -993,7 +993,7 @@ mod tests {
         };
         let mut ctx = Ctx {
             me: HostId(0),
-            eng: &mut eng,
+            io: &mut eng,
             stats: &mut stats,
             loss_probe_noise: 0.0,
         };
@@ -1013,7 +1013,7 @@ mod tests {
         let mut walk = {
             let mut ctx = Ctx {
                 me: HostId(0),
-                eng: &mut eng,
+                io: &mut eng,
                 stats: &mut stats,
                 loss_probe_noise: 0.0,
             };

@@ -160,6 +160,14 @@ pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Value>> {
     }
 }
 
+fn hex4(chars: &mut std::str::CharIndices<'_>) -> Option<u32> {
+    let mut code = 0u32;
+    for _ in 0..4 {
+        code = code * 16 + chars.next()?.1.to_digit(16)?;
+    }
+    Some(code)
+}
+
 fn parse_string(s: &str) -> Option<(String, &str)> {
     let mut chars = s.char_indices();
     match chars.next() {
@@ -173,15 +181,35 @@ fn parse_string(s: &str) -> Option<(String, &str)> {
             '\\' => match chars.next()?.1 {
                 '"' => out.push('"'),
                 '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000C}'),
                 'n' => out.push('\n'),
                 'r' => out.push('\r'),
                 't' => out.push('\t'),
                 'u' => {
-                    let mut code = 0u32;
-                    for _ in 0..4 {
-                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    let code = hex4(&mut chars)?;
+                    if (0xD800..0xDC00).contains(&code) {
+                        // High surrogate: JSON encodes astral-plane
+                        // characters as a \uD8xx\uDCxx pair. The old
+                        // parser fed the lone high half to
+                        // `char::from_u32`, got `None`, and rejected
+                        // the whole line — including lines other JSON
+                        // encoders legitimately produce.
+                        if chars.next()?.1 != '\\' || chars.next()?.1 != 'u' {
+                            return None;
+                        }
+                        let low = hex4(&mut chars)?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return None;
+                        }
+                        let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                        out.push(char::from_u32(c)?);
+                    } else {
+                        // Lone low surrogates fall out here: not a
+                        // scalar value, `from_u32` is `None`, reject.
+                        out.push(char::from_u32(code)?);
                     }
-                    out.push(char::from_u32(code)?);
                 }
                 _ => return None,
             },
@@ -264,5 +292,91 @@ mod tests {
         assert!(line.contains("null"));
         let m = parse_flat_object(&line).expect("parse");
         assert!(m["x"].as_num().unwrap().is_nan());
+    }
+
+    #[test]
+    fn full_escape_set_and_surrogate_pairs_decode() {
+        // \b, \f, \/ are legal JSON escapes other encoders emit.
+        let m = parse_flat_object(r#"{"s":"a\bb\fc\/d"}"#).expect("parse");
+        assert_eq!(m["s"].as_str(), Some("a\u{8}b\u{c}c/d"));
+        // Astral-plane characters arrive as \u surrogate pairs from
+        // standard JSON encoders (and raw UTF-8 from ours).
+        let m = parse_flat_object("{\"s\":\"ok \\ud83d\\ude00!\"}").expect("parse");
+        assert_eq!(m["s"].as_str(), Some("ok \u{1F600}!"));
+        let m = parse_flat_object("{\"s\":\"\\ud834\\udd1e\"}").expect("parse");
+        assert_eq!(m["s"].as_str(), Some("\u{1D11E}"));
+        let m = parse_flat_object("{\"s\":\"raw \u{1F600}\"}").expect("parse");
+        assert_eq!(m["s"].as_str(), Some("raw \u{1F600}"));
+    }
+
+    #[test]
+    fn lone_or_malformed_surrogates_are_rejected() {
+        assert!(parse_flat_object(r#"{"s":"\ud83d"}"#).is_none());
+        assert!(parse_flat_object(r#"{"s":"\ud83d oops"}"#).is_none());
+        assert!(parse_flat_object(r#"{"s":"\ud83dA"}"#).is_none());
+        assert!(parse_flat_object(r#"{"s":"\ude00"}"#).is_none());
+        assert!(parse_flat_object(r#"{"s":"\uZZZZ"}"#).is_none());
+        assert!(parse_flat_object(r#"{"s":"\q"}"#).is_none());
+    }
+
+    #[test]
+    fn control_and_non_ascii_round_trip() {
+        let nasty = "quote\" back\\slash \n\r\t \u{8}\u{c} \u{1b}[0m tab\tü 漢字 😀 \u{0} end";
+        let mut w = ObjWriter::new();
+        w.str("s", nasty).str("päth", "/tmp/a\"b.csv");
+        let line = w.finish();
+        assert!(!line.contains('\n'), "one record per line");
+        let m = parse_flat_object(&line).expect("parse");
+        assert_eq!(m["s"].as_str(), Some(nasty));
+        assert_eq!(m["päth"].as_str(), Some("/tmp/a\"b.csv"));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Adversarial chars: the escape-relevant ASCII band, raw
+        /// controls, and scattered non-ASCII up to the astral planes
+        /// (surrogate code points filter out — they are not chars).
+        fn chars_of(codes: &[u32]) -> String {
+            codes.iter().filter_map(|&c| char::from_u32(c)).collect()
+        }
+
+        proptest! {
+            /// Whatever string we encode — control characters, quotes,
+            /// backslashes, non-ASCII, astral planes — parses back to
+            /// exactly itself. This is the "logs we wrote ourselves
+            /// must always re-parse" guarantee `trace filter` relies
+            /// on.
+            #[test]
+            fn encode_parse_round_trips_adversarial_strings(
+                low in proptest::collection::vec(0u32..0x80, 0..24),
+                wide in proptest::collection::vec(0u32..0x11_0000, 0..24),
+            ) {
+                let s = format!("{}{}", chars_of(&low), chars_of(&wide));
+                let mut w = ObjWriter::new();
+                w.str("s", &s).u64("k", 7);
+                let line = w.finish();
+                let m = parse_flat_object(&line);
+                prop_assert!(m.is_some(), "self-written line failed to parse: {line:?}");
+                let m = m.unwrap();
+                prop_assert_eq!(m["s"].as_str(), Some(s.as_str()));
+                prop_assert_eq!(m["k"].as_num(), Some(7.0));
+            }
+
+            /// Adversarial *keys* round-trip too (host names and file
+            /// paths land in keys in cache events).
+            #[test]
+            fn keys_round_trip(codes in proptest::collection::vec(0u32..0x11_0000, 1..16)) {
+                let k = chars_of(&codes);
+                prop_assume!(!k.is_empty());
+                let mut w = ObjWriter::new();
+                w.bool(&k, true);
+                let m = parse_flat_object(&w.finish());
+                prop_assert!(m.is_some());
+                let m = m.unwrap();
+                prop_assert_eq!(m.get(&k), Some(&Value::Bool(true)));
+            }
+        }
     }
 }
